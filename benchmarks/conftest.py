@@ -1,0 +1,41 @@
+"""Shared infrastructure for the experiment benches.
+
+Every bench regenerates one table or figure of the paper. Reproduced tables
+are registered with the session-scoped :func:`report` fixture and printed in
+the terminal summary, so ``pytest benchmarks/ --benchmark-only`` leaves the
+full paper-versus-measured record in its output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_SECTIONS: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Register a reproduced table: ``report(title, body_text)``."""
+
+    def add(title: str, body: str) -> None:
+        _SECTIONS.append((title, body))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _SECTIONS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for title, body in _SECTIONS:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(body)
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once through pytest-benchmark and return its value.
+
+    The experiments are deterministic and expensive; statistical repetition
+    would measure the simulator, not the protocol.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

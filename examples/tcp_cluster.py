@@ -1,0 +1,42 @@
+"""Run a real DAG-Rider cluster over localhost TCP sockets.
+
+The exact same node code that powers the simulator experiments runs here
+over asyncio TCP — four nodes, four listening ports, real bytes on real
+sockets — and keeps the same guarantees.
+
+Usage::
+
+    python examples/tcp_cluster.py
+"""
+
+import asyncio
+
+from repro import SystemConfig
+from repro.runtime.cluster import LocalCluster
+
+
+async def main() -> None:
+    config = SystemConfig(n=4, seed=11)
+    cluster = LocalCluster(config, base_port=9500, coin_mode="threshold")
+
+    reached = await cluster.run_until(
+        lambda: cluster.nodes
+        and all(len(node.ordered) >= 20 for node in cluster.nodes),
+        timeout=60.0,
+    )
+    cluster.check_total_order()
+
+    print(f"target reached: {reached}")
+    for node, network in zip(cluster.nodes, cluster.networks):
+        print(
+            f"  node {node.pid} @ {cluster.peers[node.pid][1]}: "
+            f"ordered {len(node.ordered):>3} blocks, decided wave "
+            f"{node.decided_wave}, sent {network.metrics.correct_bits_total:,} bits"
+        )
+    first = cluster.nodes[0].ordered[:4]
+    print("first deliveries:", [(e.round, e.source) for e in first])
+    print("total order across all four nodes: OK")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

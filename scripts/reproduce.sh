@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate the full paper-versus-measured record.
+#
+# Usage: scripts/reproduce.sh [quick]
+#   quick — tests only (a few minutes); otherwise tests + every bench
+#           (the Table 1 sweeps take ~10-15 minutes on a laptop).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== installing (editable) =="
+python setup.py develop >/dev/null
+
+echo "== test suite =="
+python -m pytest tests/ -q
+
+if [ "${1:-}" = "quick" ]; then
+    echo "quick mode: skipping benches"
+    exit 0
+fi
+
+echo "== experiment benches (reproduced tables print in the summary) =="
+python -m pytest benchmarks/ --benchmark-only -q
+
+echo
+echo "Compare the printed tables against EXPERIMENTS.md — same seeds,"
+echo "so the numbers should match exactly."

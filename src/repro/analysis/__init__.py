@@ -1,0 +1,37 @@
+"""Measurement and reporting utilities for the experiments.
+
+* :mod:`repro.analysis.chain_quality` — the §3 chain-quality property:
+  every ``(2f+1)·r`` prefix of the ordered log contains at least
+  ``(f+1)·r`` values from correct processes.
+* :mod:`repro.analysis.complexity` — log-log scaling-exponent estimation
+  and model selection among {1, log n, n, n log n, n², n³} for the
+  Table 1 communication columns.
+* :mod:`repro.analysis.stats` — summary statistics and the geometric-
+  distribution estimate behind Claim 6.
+* :mod:`repro.analysis.render` — ASCII rendering of a local DAG (the
+  Figure 1 / Figure 2 reproductions).
+"""
+
+from repro.analysis.chain_quality import chain_quality_report, check_chain_quality
+from repro.analysis.complexity import fit_exponent, select_model
+from repro.analysis.latency import (
+    commit_sizes,
+    delivery_latencies,
+    inter_commit_times,
+    throughput,
+)
+from repro.analysis.render import render_dag
+from repro.analysis.stats import summarize
+
+__all__ = [
+    "chain_quality_report",
+    "check_chain_quality",
+    "commit_sizes",
+    "delivery_latencies",
+    "fit_exponent",
+    "inter_commit_times",
+    "render_dag",
+    "select_model",
+    "summarize",
+    "throughput",
+]

@@ -1,0 +1,64 @@
+"""Chain quality (paper §3).
+
+*"For every prefix of ordered messages of size (2f+1)·r, at least (f+1)·r
+were broadcast by correct processes."* The functions here check that bound
+on a delivery log and report the correct-source fraction per prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ChainQualityReport:
+    """Chain-quality measurements over one ordered log."""
+
+    total: int
+    correct: int
+    worst_prefix_fraction: float
+    violations: int
+
+    @property
+    def correct_fraction(self) -> float:
+        """Correct-source fraction over the whole log."""
+        if self.total == 0:
+            return 1.0
+        return self.correct / self.total
+
+
+def check_chain_quality(
+    sources: Sequence[int], byzantine: Iterable[int], f: int
+) -> bool:
+    """True iff every (2f+1)·r prefix has >= (f+1)·r correct-source entries."""
+    return chain_quality_report(sources, byzantine, f).violations == 0
+
+
+def chain_quality_report(
+    sources: Sequence[int], byzantine: Iterable[int], f: int
+) -> ChainQualityReport:
+    """Measure chain quality of ``sources`` (the ordered log's proposers)."""
+    bad = set(byzantine)
+    quorum = 2 * f + 1
+    small = f + 1
+    correct_prefix = 0
+    violations = 0
+    worst = 1.0
+    total_correct = 0
+    for position, source in enumerate(sources, start=1):
+        if source not in bad:
+            correct_prefix += 1
+            total_correct += 1
+        if position % quorum == 0:
+            r = position // quorum
+            fraction = correct_prefix / position
+            worst = min(worst, fraction)
+            if correct_prefix < small * r:
+                violations += 1
+    return ChainQualityReport(
+        total=len(sources),
+        correct=total_correct,
+        worst_prefix_fraction=worst,
+        violations=violations,
+    )

@@ -1,0 +1,65 @@
+"""Scaling-law estimation for the Table 1 communication/time columns.
+
+Given per-``n`` measurements (bits per ordered value, time units per n
+outputs, ...), :func:`fit_exponent` estimates the power-law exponent by
+least-squares on log-log points, and :func:`select_model` picks the best
+fit among the asymptotic shapes the paper distinguishes — O(1), O(log n),
+O(n), O(n log n), O(n²), O(n³).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+#: Candidate asymptotic models, name -> f(n).
+MODELS: dict[str, Callable[[float], float]] = {
+    "1": lambda n: 1.0,
+    "log n": lambda n: math.log(n),
+    "n": lambda n: float(n),
+    "n log n": lambda n: n * math.log(n),
+    "n^2": lambda n: float(n) ** 2,
+    "n^3": lambda n: float(n) ** 3,
+}
+
+
+def fit_exponent(ns: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(n) — the power-law exponent."""
+    if len(ns) != len(ys) or len(ns) < 2:
+        raise ValueError("need at least two (n, y) points of equal length")
+    if any(n <= 0 for n in ns) or any(y <= 0 for y in ys):
+        raise ValueError("log-log fit needs positive values")
+    xs = [math.log(n) for n in ns]
+    ls = [math.log(y) for y in ys]
+    mean_x = sum(xs) / len(xs)
+    mean_l = sum(ls) / len(ls)
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (l - mean_l) for x, l in zip(xs, ls))
+    if sxx == 0:
+        raise ValueError("all n values identical")
+    return sxy / sxx
+
+
+def select_model(ns: Sequence[float], ys: Sequence[float]) -> str:
+    """Name of the :data:`MODELS` entry with the lowest relative misfit.
+
+    Each model is scaled optimally (one multiplicative constant, fit in log
+    space), then scored by the residual sum of squares of log(y) — so the
+    comparison is shape-only, as asymptotic statements are.
+    """
+    if len(ns) != len(ys) or len(ns) < 2:
+        raise ValueError("need at least two (n, y) points of equal length")
+    best_name = ""
+    best_rss = math.inf
+    logys = [math.log(y) for y in ys]
+    for name, model in MODELS.items():
+        try:
+            logms = [math.log(model(n)) for n in ns]
+        except ValueError:
+            continue
+        offset = sum(ly - lm for ly, lm in zip(logys, logms)) / len(ns)
+        rss = sum((ly - lm - offset) ** 2 for ly, lm in zip(logys, logms))
+        if rss < best_rss:
+            best_rss = rss
+            best_name = name
+    return best_name

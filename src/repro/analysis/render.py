@@ -1,0 +1,69 @@
+"""ASCII rendering of a local DAG — the Figure 1 / Figure 2 reproduction.
+
+Rows are sources (one horizontal dotted line per process, as in the paper's
+figures); columns are rounds. Each cell shows the vertex marker with its
+strong-edge count, ``~k`` when the vertex also carries ``k`` weak edges,
+and ``*`` for highlighted vertices (e.g. wave leaders).
+"""
+
+from __future__ import annotations
+
+from repro.dag.store import DagStore
+from repro.dag.vertex import Ref
+
+
+def render_dag(
+    store: DagStore,
+    max_round: int | None = None,
+    highlight: set[Ref] | None = None,
+    n: int | None = None,
+) -> str:
+    """Render ``store`` as a round-by-source character grid."""
+    highlight = highlight or set()
+    rounds = [r for r in store.rounds() if r > 0]
+    if max_round is not None:
+        rounds = [r for r in rounds if r <= max_round]
+    if not rounds:
+        return "(empty DAG)"
+    sources: set[int] = set()
+    for r in rounds:
+        sources.update(store.round(r))
+    if n is not None:
+        sources.update(range(n))
+
+    width = 10
+    header = "src/round " + "".join(f"{r:^{width}}" for r in rounds)
+    lines = [header, "-" * len(header)]
+    for source in sorted(sources):
+        cells = []
+        for r in rounds:
+            vertex = store.round(r).get(source)
+            if vertex is None:
+                cells.append(f"{'.':^{width}}")
+                continue
+            mark = f"v{len(vertex.strong_parents)}"
+            if vertex.weak_parents:
+                mark += f"~{len(vertex.weak_parents)}"
+            if vertex.ref in highlight:
+                mark += "*"
+            cells.append(f"{mark:^{width}}")
+        lines.append(f"p{source:<8} " + "".join(cells))
+    lines.append("")
+    lines.append(
+        "legend: vS = vertex with S strong edges, ~W = W weak edges, "
+        "* = highlighted (wave leader), . = not (yet) delivered here"
+    )
+    return "\n".join(lines)
+
+
+def describe_edges(store: DagStore, ref: Ref) -> str:
+    """One-line description of a vertex's outgoing edges."""
+    vertex = store.get(ref)
+    if vertex is None:
+        return f"{ref}: not in this DAG"
+    strong = ", ".join(f"p{s}@r{vertex.round - 1}" for s in sorted(vertex.strong_parents))
+    weak = ", ".join(f"p{w.source}@r{w.round}" for w in sorted(vertex.weak_parents))
+    line = f"p{ref.source}@r{ref.round}: strong -> [{strong}]"
+    if weak:
+        line += f" weak -> [{weak}]"
+    return line

@@ -1,0 +1,67 @@
+"""Summary statistics for experiment outputs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+    def ci95_half_width(self) -> float:
+        """Half-width of the normal-approximation 95% CI of the mean."""
+        if self.count < 2:
+            return math.inf
+        return 1.96 * self.stdev / math.sqrt(self.count)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values, q in [0, 1]."""
+    if not sorted_values:
+        raise ValueError("empty sample")
+    if not 0 <= q <= 1:
+        raise ValueError(f"q={q} outside [0, 1]")
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = position - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``."""
+    if not values:
+        raise ValueError("empty sample")
+    ordered = sorted(values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = (
+        sum((v - mean) ** 2 for v in ordered) / (count - 1) if count > 1 else 0.0
+    )
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        median=percentile(ordered, 0.5),
+        p90=percentile(ordered, 0.9),
+        maximum=ordered[-1],
+    )
+
+
+def geometric_mean_trials(successes_at: Sequence[int]) -> float:
+    """Mean number of trials until success (Claim 6's waves-per-commit)."""
+    if not successes_at:
+        raise ValueError("empty sample")
+    return sum(successes_at) / len(successes_at)

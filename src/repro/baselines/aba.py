@@ -1,0 +1,171 @@
+"""Signature-free asynchronous binary Byzantine agreement.
+
+The Mostefaoui-Moumen-Raynal construction (the binary agreement used by
+HoneyBadger [36] and, in the paper's related work, by Aleph [24]). Per
+round:
+
+1. **BV-broadcast** of the current estimate: ``BVAL(r, b)``; a value is
+   *relayed* after ``f + 1`` copies from distinct senders and *accepted*
+   into ``bin_values`` after ``2f + 1`` (so an accepted value was proposed
+   by a correct process).
+2. Once ``bin_values`` is non-empty, broadcast ``AUX(r, b)`` with one
+   accepted value; wait for ``2f + 1`` AUX messages whose values are all
+   accepted — their value set is ``V``.
+3. Flip the round's common coin ``c``. If ``V = {b}``: decide ``b`` when
+   ``b = c``, else keep estimate ``b``. If ``V = {0, 1}``: adopt ``c``.
+
+Expected constant rounds; a decided process keeps participating for one
+extra round so peers can finish (the standard termination gadget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.config import SystemConfig
+from repro.sim.wire import BITS_PER_ROUND, BITS_PER_TAG, Message
+
+
+@dataclass(frozen=True)
+class AbaMessage(Message):
+    """BVAL/AUX step of one ABA round."""
+
+    kind: str  # "BVAL" | "AUX"
+    round: int
+    value: int  # 0 or 1
+
+    def wire_size(self, n: int) -> int:
+        return BITS_PER_TAG + BITS_PER_ROUND + 1
+
+    def tag(self) -> str:
+        return f"aba.{self.kind.lower()}"
+
+
+class _Round:
+    __slots__ = ("bval_senders", "bval_relayed", "bin_values", "aux_senders", "aux_sent")
+
+    def __init__(self) -> None:
+        self.bval_senders: dict[int, set[int]] = {0: set(), 1: set()}
+        self.bval_relayed: set[int] = set()
+        self.bin_values: set[int] = set()
+        self.aux_senders: dict[int, int] = {}  # src -> value
+        self.aux_sent = False
+
+
+class BinaryAgreement:
+    """One binary-agreement instance at one process.
+
+    Args:
+        coin: ``coin(round) -> 0 | 1`` — the instance's common coin.
+        broadcast: Sends an :class:`AbaMessage` to every process.
+        on_decide: Called exactly once with the decided bit.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        config: SystemConfig,
+        coin: Callable[[int], int],
+        broadcast: Callable[[AbaMessage], None],
+        on_decide: Callable[[int], None],
+    ):
+        self.pid = pid
+        self.config = config
+        self._coin = coin
+        self._broadcast = broadcast
+        self._on_decide = on_decide
+        self._rounds: dict[int, _Round] = {}
+        self.round = 0
+        self.estimate: int | None = None
+        self.decided: int | None = None
+        self._decide_round: int | None = None
+
+    def propose(self, value: int) -> None:
+        """Input this process's initial binary value."""
+        if self.estimate is not None:
+            return
+        self.estimate = 1 if value else 0
+        self.round = 1
+        self._send_bval(self.round, self.estimate)
+
+    def handle(self, src: int, message: AbaMessage) -> None:
+        """Process one protocol message."""
+        state = self._round_state(message.round)
+        if message.kind == "BVAL":
+            self._on_bval(src, message, state)
+        elif message.kind == "AUX":
+            self._on_aux(src, message, state)
+
+    # ------------------------------------------------------------- internals
+
+    def _round_state(self, round_: int) -> _Round:
+        return self._rounds.setdefault(round_, _Round())
+
+    def _send_bval(self, round_: int, value: int) -> None:
+        state = self._round_state(round_)
+        if value not in state.bval_relayed:
+            state.bval_relayed.add(value)
+            self._broadcast(AbaMessage("BVAL", round_, value))
+
+    def _on_bval(self, src: int, msg: AbaMessage, state: _Round) -> None:
+        senders = state.bval_senders[msg.value]
+        if src in senders:
+            return
+        senders.add(src)
+        if len(senders) >= self.config.small_quorum:
+            self._send_bval(msg.round, msg.value)  # relay after f + 1
+        if len(senders) >= self.config.quorum and msg.value not in state.bin_values:
+            state.bin_values.add(msg.value)
+            self._maybe_send_aux(msg.round, state)
+            self._maybe_advance(msg.round, state)
+
+    def _maybe_send_aux(self, round_: int, state: _Round) -> None:
+        if state.aux_sent or round_ != self.round or not state.bin_values:
+            return
+        state.aux_sent = True
+        value = min(state.bin_values)
+        self._broadcast(AbaMessage("AUX", round_, value))
+
+    def _on_aux(self, src: int, msg: AbaMessage, state: _Round) -> None:
+        if src not in state.aux_senders:
+            state.aux_senders[src] = msg.value
+        self._maybe_advance(msg.round, state)
+
+    def _maybe_advance(self, round_: int, state: _Round) -> None:
+        if round_ != self.round or self.estimate is None:
+            return
+        self._maybe_send_aux(round_, state)
+        accepted = {
+            value
+            for value in state.aux_senders.values()
+            if value in state.bin_values
+        }
+        supporting = [
+            src
+            for src, value in state.aux_senders.items()
+            if value in state.bin_values
+        ]
+        if len(supporting) < self.config.quorum or not accepted:
+            return
+        coin = self._coin(round_)
+        if len(accepted) == 1:
+            (value,) = accepted
+            if value == coin:
+                self._decide(value)
+            self.estimate = value
+        else:
+            self.estimate = coin
+        if self._decide_round is not None and round_ > self._decide_round:
+            return  # helped one extra round; stop spinning
+        self.round = round_ + 1
+        self._send_bval(self.round, self.estimate)
+        # Late messages for the new round may already be buffered.
+        self._maybe_advance(self.round, self._round_state(self.round))
+
+    def _decide(self, value: int) -> None:
+        if self.decided is not None:
+            return
+        self.decided = value
+        self._decide_round = self.round
+        self._on_decide(value)

@@ -1,0 +1,189 @@
+"""Aleph-style DAG atomic broadcast (related work, paper §7 [24]).
+
+Aleph builds the same kind of round-based DAG as DAG-Rider but orders it by
+running one **binary agreement per vertex slot**: for every round ``r`` and
+process ``j``, the parties agree on whether the unit ``(j, r)`` is part of
+the common DAG. The contrast the paper draws — and this baseline lets the
+benches measure — is:
+
+* **ordering cost**: DAG-Rider's ordering layer sends *zero* messages (one
+  coin per wave, locally computed commits); Aleph pays n binary agreements
+  (each O(n²) messages over several rounds) per DAG round — the O(n³)
+  per-decision complexity §7 quotes, with no amortization;
+* **validity**: a slow process's unit gets voted 0 and is simply skipped
+  (no weak-edge mechanism), so Aleph does not satisfy BAB validity.
+
+The construction layer reuses :class:`repro.dag.builder.DagBuilder`
+unchanged (Aleph's unit DAG has the same ≥2f+1-parents round structure);
+only the interpretation differs. ABA inputs follow the visibility rule:
+when the local builder leaves round ``r + lookahead``, input 1 to
+``ABA_{r,j}`` iff ``(j, r)`` is already in the local DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.aba import AbaMessage, BinaryAgreement
+from repro.broadcast.bracha import BrachaBroadcast
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.core.node import OrderedEntry
+from repro.dag.builder import DagBuilder
+from repro.dag.vertex import Ref
+from repro.mempool.blocks import BlockSource, TransactionGenerator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.wire import BITS_PER_ROUND, BITS_PER_TAG, Message, bits_for_process_id
+
+
+@dataclass(frozen=True)
+class AlephAbaEnvelope(Message):
+    """An ABA message for unit slot (source=index, round)."""
+
+    round: int
+    index: int
+    inner: AbaMessage
+
+    def wire_size(self, n: int) -> int:
+        return (
+            BITS_PER_TAG
+            + BITS_PER_ROUND
+            + bits_for_process_id(n)
+            + self.inner.wire_size(n)
+        )
+
+    def tag(self) -> str:
+        return f"aleph.{self.inner.tag()}"
+
+
+class AlephNode(Process):
+    """One Aleph-style process: DAG construction + one ABA per unit slot."""
+
+    def __init__(
+        self,
+        pid: int,
+        network: Network,
+        batch_size: int = 1,
+        tx_bytes: int = 64,
+        lookahead: int = 2,
+        on_deliver: Callable[[OrderedEntry], None] | None = None,
+    ):
+        super().__init__(pid, network)
+        config = self.config
+        self._lookahead = lookahead
+        self._on_deliver = on_deliver
+        self.ordered: list[OrderedEntry] = []
+        self._delivered: set[Ref] = set()
+
+        self.builder = DagBuilder(
+            pid,
+            config,
+            BlockSource(
+                pid, TransactionGenerator(config.seed, pid, tx_bytes), batch_size
+            ),
+            on_wave_ready=lambda wave: None,  # waves unused by Aleph
+            on_vertex_added=lambda vertex: self._pump(),
+            on_round_advance=lambda round_: self._pump(),
+        )
+        self.store = self.builder.store
+        self.rbc = BrachaBroadcast(
+            pid,
+            config,
+            send=self.send,
+            broadcast=self.broadcast,
+            deliver=self.builder.on_r_deliver,
+        )
+        self.builder.attach_broadcast(self.rbc)
+
+        self._abas: dict[tuple[int, int], BinaryAgreement] = {}
+        self._aba_inputs: set[tuple[int, int]] = set()
+        self._decisions: dict[tuple[int, int], int] = {}
+        self._output_round = 1  # next DAG round to finalize
+
+    def start(self) -> None:
+        self.builder.start()
+
+    def on_message(self, src: int, message: Message) -> None:
+        if isinstance(message, AlephAbaEnvelope):
+            self._aba((message.round, message.index)).handle(src, message.inner)
+            return
+        if self.rbc.handle(src, message):
+            self._pump()
+
+    # ------------------------------------------------------------- agreement
+
+    def _aba(self, slot: tuple[int, int]) -> BinaryAgreement:
+        instance = self._abas.get(slot)
+        if instance is not None:
+            return instance
+        round_, index = slot
+        seed = self.config.seed
+
+        instance = BinaryAgreement(
+            self.pid,
+            self.config,
+            coin=lambda r: derive_rng(seed, "aleph-coin", round_, index, r).randrange(2),
+            broadcast=lambda m: self.broadcast(AlephAbaEnvelope(round_, index, m)),
+            on_decide=lambda value: self._on_decide(slot, value),
+        )
+        self._abas[slot] = instance
+        return instance
+
+    def _pump(self) -> None:
+        """Feed ABAs by the visibility rule, then try to finalize rounds."""
+        horizon = self.builder.round - self._lookahead
+        for round_ in range(self._output_round, max(self._output_round, horizon) + 1):
+            if round_ > horizon:
+                break
+            for index in self.config.processes:
+                slot = (round_, index)
+                if slot in self._aba_inputs:
+                    continue
+                self._aba_inputs.add(slot)
+                present = self.store.contains(Ref(index, round_))
+                self._aba(slot).propose(1 if present else 0)
+        self._finalize()
+
+    def _on_decide(self, slot: tuple[int, int], value: int) -> None:
+        self._decisions[slot] = value
+        self._finalize()
+
+    def _finalize(self) -> None:
+        """Deliver rounds whose every slot is decided (and units present)."""
+        while True:
+            round_ = self._output_round
+            slots = [(round_, index) for index in self.config.processes]
+            if any(slot not in self._decisions for slot in slots):
+                return
+            included = [
+                index
+                for (_, index) in [s for s in slots if self._decisions[s] == 1]
+            ]
+            # ABA validity: a 1 decision means some correct process saw the
+            # unit, so reliable broadcast will deliver it here too — wait.
+            if any(not self.store.contains(Ref(i, round_)) for i in included):
+                return
+            for index in included:
+                self._deliver_history(Ref(index, round_))
+            self._output_round += 1
+
+    def _deliver_history(self, ref: Ref) -> None:
+        for vertex in self.store.causal_history(ref):
+            if vertex.round == 0 or vertex.ref in self._delivered:
+                continue
+            self._delivered.add(vertex.ref)
+            entry = OrderedEntry(
+                len(self.ordered), vertex.block, vertex.round, vertex.source, self.now
+            )
+            self.ordered.append(entry)
+            if self._on_deliver is not None:
+                self._on_deliver(entry)
+
+
+def build_aleph_cluster(
+    config: SystemConfig, network: Network, **kwargs
+) -> list[AlephNode]:
+    """One AlephNode per process, registered on ``network``."""
+    return [AlephNode(pid, network, **kwargs) for pid in config.processes]

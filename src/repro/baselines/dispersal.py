@@ -1,0 +1,206 @@
+"""AVID as true dispersal + retrieval (Cachin-Tessaro [14]).
+
+Unlike :mod:`repro.broadcast.avid` — which delivers the full payload to
+every process (reliable-broadcast semantics) — this component implements the
+economical interface Dumbo [35] builds on:
+
+* **disperse**: the sender Reed-Solomon-encodes the payload (threshold
+  ``k = f + 1``), Merkle-commits, and sends each process *only its own
+  fragment*; processes acknowledge storage with an ``ECHO`` and the
+  dispersal *completes* at ``2f + 1`` echoes. Total cost O(|m| + n log n)
+  bits — no n× payload blow-up.
+* **retrieve**: a process that learns a dispersal root (e.g. from a VABA
+  decision) fetches fragments from everyone and reconstructs from any
+  ``f + 1`` Merkle-verified responses. Fetches arriving before the local
+  fragment are parked and answered when the STORE shows up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.codes.merkle import MerkleTree, verify_proof
+from repro.codes.reed_solomon import rs_decode, rs_encode
+from repro.common.config import SystemConfig
+from repro.sim.wire import BITS_PER_DIGEST, BITS_PER_TAG, Message, bits_for_process_id
+
+
+@dataclass(frozen=True)
+class DispersalMessage(Message):
+    """STORE / ECHO / FETCH / FRAGMENT steps keyed by the Merkle root."""
+
+    kind: str
+    root: bytes
+    fragment_index: int = -1
+    fragment: bytes = b""
+    proof: tuple[bytes, ...] = ()
+    data_len: int = 0
+
+    def wire_size(self, n: int) -> int:
+        bits = BITS_PER_TAG + BITS_PER_DIGEST + 32
+        if self.kind in ("STORE", "FRAGMENT"):
+            bits += (
+                bits_for_process_id(n)
+                + 8 * len(self.fragment)
+                + BITS_PER_DIGEST * len(self.proof)
+            )
+        return bits
+
+    def tag(self) -> str:
+        return f"dispersal.{self.kind.lower()}"
+
+
+@dataclass
+class _Stored:
+    index: int
+    fragment: bytes
+    proof: tuple[bytes, ...]
+    data_len: int
+
+
+class AvidDispersal:
+    """Per-process dispersal/retrieval endpoint (shared across slots)."""
+
+    def __init__(
+        self,
+        pid: int,
+        config: SystemConfig,
+        send: Callable[[int, Message], None],
+        broadcast: Callable[[Message], None],
+        on_dispersed: Callable[[bytes, int], None] | None = None,
+    ):
+        self.pid = pid
+        self.config = config
+        self._send = send
+        self._broadcast = broadcast
+        self._on_dispersed = on_dispersed
+        self._k = config.small_quorum
+        self._stored: dict[bytes, _Stored] = {}
+        self._echoes: dict[bytes, set[int]] = {}
+        self._complete: set[bytes] = set()
+        self._pending_fetch: dict[bytes, set[int]] = {}
+        self._retrievals: dict[bytes, tuple[int, dict[int, bytes], list[Callable]]] = {}
+        self._retrieved: dict[bytes, bytes] = {}
+
+    # -------------------------------------------------------------- disperse
+
+    def disperse(self, data: bytes) -> bytes:
+        """Disperse ``data``; returns the root identifying the dispersal."""
+        fragments = rs_encode(data, self._k, self.config.n)
+        tree = MerkleTree(fragments)
+        for j in self.config.processes:
+            self._send(
+                j,
+                DispersalMessage(
+                    "STORE", tree.root, j, fragments[j], tuple(tree.proof(j)), len(data)
+                ),
+            )
+        return tree.root
+
+    def is_complete(self, root: bytes) -> bool:
+        """True once ``2f + 1`` processes acknowledged storing a fragment."""
+        return root in self._complete
+
+    # -------------------------------------------------------------- retrieve
+
+    def retrieve(self, root: bytes, data_len: int, callback: Callable[[bytes], None]) -> None:
+        """Fetch and reconstruct the payload dispersed under ``root``."""
+        cached = self._retrieved.get(root)
+        if cached is not None:
+            callback(cached)
+            return
+        if root in self._retrievals:
+            self._retrievals[root][2].append(callback)
+            return
+        self._retrievals[root] = (data_len, {}, [callback])
+        mine = self._stored.get(root)
+        if mine is not None:
+            self._retrievals[root][1][mine.index] = mine.fragment
+        self._broadcast(DispersalMessage("FETCH", root))
+        self._try_reconstruct(root)
+
+    # --------------------------------------------------------------- routing
+
+    def handle(self, src: int, message: Message) -> bool:
+        """Route a dispersal message; returns True when consumed."""
+        if not isinstance(message, DispersalMessage):
+            return False
+        if message.kind == "STORE":
+            self._on_store(src, message)
+        elif message.kind == "ECHO":
+            self._on_echo(src, message)
+        elif message.kind == "FETCH":
+            self._on_fetch(src, message)
+        elif message.kind == "FRAGMENT":
+            self._on_fragment(src, message)
+        return True
+
+    def _verified(self, message: DispersalMessage) -> bool:
+        return verify_proof(
+            message.root,
+            message.fragment,
+            message.fragment_index,
+            list(message.proof),
+            self.config.n,
+        )
+
+    def _on_store(self, src: int, msg: DispersalMessage) -> None:
+        if msg.fragment_index != self.pid or not self._verified(msg):
+            return
+        if msg.root in self._stored:
+            return
+        self._stored[msg.root] = _Stored(
+            msg.fragment_index, msg.fragment, msg.proof, msg.data_len
+        )
+        self._broadcast(DispersalMessage("ECHO", msg.root, data_len=msg.data_len))
+        for requester in self._pending_fetch.pop(msg.root, set()):
+            self._on_fetch(requester, DispersalMessage("FETCH", msg.root))
+
+    def _on_echo(self, src: int, msg: DispersalMessage) -> None:
+        echoes = self._echoes.setdefault(msg.root, set())
+        if src in echoes:
+            return
+        echoes.add(src)
+        if len(echoes) >= self.config.quorum and msg.root not in self._complete:
+            self._complete.add(msg.root)
+            if self._on_dispersed is not None:
+                self._on_dispersed(msg.root, msg.data_len)
+
+    def _on_fetch(self, src: int, msg: DispersalMessage) -> None:
+        stored = self._stored.get(msg.root)
+        if stored is None:
+            self._pending_fetch.setdefault(msg.root, set()).add(src)
+            return
+        self._send(
+            src,
+            DispersalMessage(
+                "FRAGMENT",
+                msg.root,
+                stored.index,
+                stored.fragment,
+                stored.proof,
+                stored.data_len,
+            ),
+        )
+
+    def _on_fragment(self, src: int, msg: DispersalMessage) -> None:
+        retrieval = self._retrievals.get(msg.root)
+        if retrieval is None or not self._verified(msg):
+            return
+        _data_len, fragments, _callbacks = retrieval
+        fragments[msg.fragment_index] = msg.fragment
+        self._try_reconstruct(msg.root)
+
+    def _try_reconstruct(self, root: bytes) -> None:
+        retrieval = self._retrievals.get(root)
+        if retrieval is None:
+            return
+        data_len, fragments, callbacks = retrieval
+        if len(fragments) < self._k:
+            return
+        data = rs_decode(dict(fragments), self._k, data_len)
+        self._retrieved[root] = data
+        del self._retrievals[root]
+        for callback in callbacks:
+            callback(data)

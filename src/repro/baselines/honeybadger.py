@@ -1,0 +1,120 @@
+"""HoneyBadger-style asynchronous common subset (ACS) per slot [36].
+
+Per slot: every party reliably broadcasts its batch (Bracha), and one binary
+agreement per party decides whether that party's batch makes the slot. The
+standard wiring:
+
+* when RBC_j delivers, input 1 to ABA_j (unless 0 was already input);
+* once ``2f + 1`` ABAs decided 1, input 0 to every ABA not yet started;
+* when all n ABAs decided and the batches of all 1-decided ABAs are
+  delivered, the slot's value is those batches in proposer order.
+
+This is the first practical asynchronous BFT design (§7 of the paper); like
+VABA/Dumbo SMR it provides no eventual fairness — a slow correct party's
+RBC finishes after the 2f+1 threshold and its ABA is voted 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.aba import AbaMessage, BinaryAgreement
+from repro.broadcast.bracha import BrachaBroadcast
+from repro.common.config import SystemConfig
+from repro.mempool.blocks import Block
+from repro.sim.wire import BITS_PER_TAG, Message, bits_for_process_id
+
+
+@dataclass(frozen=True)
+class AbaEnvelope(Message):
+    """An ABA message tagged with the index of the party it votes on."""
+
+    index: int
+    inner: AbaMessage
+
+    def wire_size(self, n: int) -> int:
+        return BITS_PER_TAG + bits_for_process_id(n) + self.inner.wire_size(n)
+
+    def tag(self) -> str:
+        return f"acs.{self.inner.tag()}"
+
+
+class HoneyBadgerSlot:
+    """One ACS instance at one process."""
+
+    def __init__(
+        self,
+        pid: int,
+        config: SystemConfig,
+        coin: Callable[[int, int], int],
+        send: Callable[[int, Message], None],
+        broadcast: Callable[[Message], None],
+        on_decide: Callable[[list[Block]], None],
+    ):
+        self.pid = pid
+        self.config = config
+        self._on_decide = on_decide
+        self.decided: list[Block] | None = None
+
+        self._batches: dict[int, Block] = {}
+        self._aba_decisions: dict[int, int] = {}
+        self._aba_started: set[int] = set()
+
+        self._rbc = BrachaBroadcast(
+            pid, config, send=send, broadcast=broadcast, deliver=self._on_rbc_deliver
+        )
+        self._abas: list[BinaryAgreement] = [
+            BinaryAgreement(
+                pid,
+                config,
+                coin=lambda r, j=j: coin(j, r),
+                broadcast=lambda m, j=j: broadcast(AbaEnvelope(j, m)),
+                on_decide=lambda v, j=j: self._on_aba_decide(j, v),
+            )
+            for j in config.processes
+        ]
+
+    def propose(self, batch: Block) -> None:
+        """Input this party's batch for the slot."""
+        self._rbc.r_bcast(batch, 0)
+
+    def handle(self, src: int, message: Message) -> None:
+        """Route an RBC or ABA message."""
+        if isinstance(message, AbaEnvelope):
+            if 0 <= message.index < self.config.n:
+                self._abas[message.index].handle(src, message.inner)
+            return
+        self._rbc.handle(src, message)
+
+    # ------------------------------------------------------------- internals
+
+    def _on_rbc_deliver(self, payload, round_: int, source: int) -> None:
+        if not isinstance(payload, Block):
+            return
+        self._batches[source] = payload
+        if source not in self._aba_started:
+            self._aba_started.add(source)
+            self._abas[source].propose(1)
+        self._maybe_finish()
+
+    def _on_aba_decide(self, index: int, value: int) -> None:
+        self._aba_decisions[index] = value
+        ones = sum(1 for v in self._aba_decisions.values() if v == 1)
+        if ones >= self.config.quorum:
+            for j in self.config.processes:
+                if j not in self._aba_started:
+                    self._aba_started.add(j)
+                    self._abas[j].propose(0)
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.decided is not None:
+            return
+        if len(self._aba_decisions) < self.config.n:
+            return
+        included = [j for j in self.config.processes if self._aba_decisions[j] == 1]
+        if any(j not in self._batches for j in included):
+            return  # wait for the included batches to deliver (RBC agreement)
+        self.decided = [self._batches[j] for j in included]
+        self._on_decide(self.decided)

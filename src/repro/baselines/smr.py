@@ -1,0 +1,183 @@
+"""SMR wrappers for the single-shot baselines (paper §1's comparison).
+
+The paper compares DAG-Rider against SMR systems that "run an unbounded
+sequence of the VABA or Dumbo protocols to independently agree on every
+slot", allowing "up to n slots concurrently" but requiring "slot decisions
+in a sequential order (no gaps)". :class:`SmrNode` implements exactly that:
+
+* a sliding window of ``window`` (default n) concurrently running slots;
+* each slot runs one single-shot instance (VABA, Dumbo, or HoneyBadger ACS);
+* decided slots are *output* only when every earlier slot has been output —
+  the max-of-geometrics effect that makes the expected time to output n
+  slots O(log n) (Ben-Or & El-Yaniv [6], the Table 1 time column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.dumbo import DumboSlot
+from repro.baselines.honeybadger import HoneyBadgerSlot
+from repro.baselines.vaba import VabaSlot
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng
+from repro.mempool.blocks import Block, TransactionGenerator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.wire import BITS_PER_TAG, Message
+
+PROTOCOLS = ("vaba", "dumbo", "honeybadger")
+
+
+@dataclass(frozen=True)
+class SlotMessage(Message):
+    """A single-shot protocol message tagged with its slot number."""
+
+    slot: int
+    inner: Message
+
+    def wire_size(self, n: int) -> int:
+        return BITS_PER_TAG + 32 + self.inner.wire_size(n)
+
+    def tag(self) -> str:
+        return self.inner.tag()
+
+
+@dataclass(frozen=True)
+class SlotOutput:
+    """One slot's output at one process."""
+
+    slot: int
+    blocks: tuple[Block, ...]
+    decided_time: float
+    output_time: float
+
+
+def slot_coin(seed: int, slot: int, *labels: object) -> Callable[..., int]:
+    """Deterministic shared coin family for baseline instances."""
+
+    def flip(*more: object) -> int:
+        return derive_rng(seed, "baseline-coin", slot, *labels, *more).randrange(
+            2**31
+        )
+
+    return flip
+
+
+class SmrNode(Process):
+    """One process running a baseline SMR (VABA/Dumbo/HoneyBadger slots)."""
+
+    def __init__(
+        self,
+        pid: int,
+        network: Network,
+        protocol: str = "vaba",
+        window: int | None = None,
+        max_slots: int | None = None,
+        batch_size: int = 1,
+        tx_bytes: int = 64,
+    ):
+        super().__init__(pid, network)
+        if protocol not in PROTOCOLS:
+            raise ConfigurationError(f"unknown baseline protocol {protocol!r}")
+        self.protocol = protocol
+        self.window = window if window is not None else self.config.n
+        self.max_slots = max_slots
+        self._txgen = TransactionGenerator(self.config.seed, pid, tx_bytes)
+        self._batch_size = batch_size
+        self._slots: dict[int, object] = {}
+        self._decided: dict[int, tuple[tuple[Block, ...], float]] = {}
+        self.outputs: list[SlotOutput] = []  # strictly slot-ordered
+        self._next_output = 0
+        self._proposed: set[int] = set()
+
+    # ----------------------------------------------------------------- setup
+
+    def start(self) -> None:
+        self._open_slots()
+
+    def _open_slots(self) -> None:
+        high = self._next_output + self.window
+        if self.max_slots is not None:
+            high = min(high, self.max_slots)
+        for slot in range(self._next_output, high):
+            if slot not in self._proposed and slot not in self._decided:
+                self._proposed.add(slot)
+                instance = self._instance(slot)
+                instance.propose(self._make_batch(slot))
+
+    def _make_batch(self, slot: int) -> Block:
+        txs = tuple(self._txgen.next_transaction() for _ in range(self._batch_size))
+        return Block(self.pid, slot, txs)
+
+    def _instance(self, slot: int):
+        instance = self._slots.get(slot)
+        if instance is not None:
+            return instance
+
+        def send(dst: int, message: Message) -> None:
+            self.send(dst, SlotMessage(slot, message))
+
+        def broadcast(message: Message) -> None:
+            self.broadcast(SlotMessage(slot, message))
+
+        seed = self.config.seed
+        n = self.config.n
+        if self.protocol == "vaba":
+            elect = lambda view: slot_coin(seed, slot, "elect")(view) % n
+            instance = VabaSlot(
+                self.pid, self.config, elect, send, broadcast,
+                on_decide=lambda value, s=slot: self._on_decide(s, (value,)),
+            )
+        elif self.protocol == "dumbo":
+            elect = lambda view: slot_coin(seed, slot, "elect")(view) % n
+            instance = DumboSlot(
+                self.pid, self.config, elect, send, broadcast,
+                on_decide=lambda blocks, s=slot: self._on_decide(s, tuple(blocks)),
+            )
+        else:  # honeybadger
+            coin = lambda index, r: slot_coin(seed, slot, "aba", index)(r) % 2
+            instance = HoneyBadgerSlot(
+                self.pid, self.config, coin, send, broadcast,
+                on_decide=lambda blocks, s=slot: self._on_decide(s, tuple(blocks)),
+            )
+        self._slots[slot] = instance
+        return instance
+
+    # --------------------------------------------------------------- routing
+
+    def on_message(self, src: int, message: Message) -> None:
+        if not isinstance(message, SlotMessage):
+            return
+        if self.max_slots is not None and message.slot >= self.max_slots + self.window:
+            return
+        self._instance(message.slot).handle(src, message.inner)
+
+    # ------------------------------------------------------------- decisions
+
+    def _on_decide(self, slot: int, blocks: tuple[Block, ...]) -> None:
+        if slot in self._decided:
+            return
+        self._decided[slot] = (blocks, self.now)
+        self._flush_outputs()
+        self._open_slots()
+
+    def _flush_outputs(self) -> None:
+        while self._next_output in self._decided:
+            blocks, decided_time = self._decided[self._next_output]
+            self.outputs.append(
+                SlotOutput(self._next_output, blocks, decided_time, self.now)
+            )
+            self._next_output += 1
+
+    # ----------------------------------------------------------------- views
+
+    @property
+    def output_count(self) -> int:
+        """Slots output in order so far."""
+        return len(self.outputs)
+
+    def ordered_blocks(self) -> list[Block]:
+        """All blocks output, flattened in slot order."""
+        return [block for output in self.outputs for block in output.blocks]

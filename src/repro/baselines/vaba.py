@@ -1,0 +1,214 @@
+"""Validated asynchronous Byzantine agreement (VABA, Abraham et al. [1]).
+
+One single-shot instance per SMR slot. Structure per view:
+
+1. **Proposal promotion** — every party pushes its value through four
+   sequential steps (the key/lock/commit/done ladder of [1]); each step is a
+   broadcast answered by ``2f + 1`` ACKs. O(n) broadcasts of the value per
+   party per view → O(n²·|value|) bits per view, the Table 1 row.
+2. **Done + leader election** — after finishing the ladder a party
+   broadcasts DONE; on ``2f + 1`` DONEs it flips the view coin, which
+   retrospectively elects one party as leader (probability ≥ 2/3 the leader
+   finished promotion — VABA "wastes" the other n-1 promotions, the very
+   contrast the paper draws with DAG-Rider's no-waste DAG).
+3. **View change** — every party reports the highest promotion step it
+   ACKed for the leader (with the leader's value). On ``2f + 1`` reports:
+   any step ≥ 3 decides the leader's value; any step ≥ 2 adopts it for the
+   next view (quorum intersection makes adoption universal whenever anyone
+   decides, which gives agreement); otherwise parties keep their values.
+
+A decided party broadcasts DECIDE so laggards short-circuit. Certificate
+forgery (the reason [1] uses threshold signatures) is out of scope — see the
+package docstring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.broadcast.base import Payload
+from repro.common.config import SystemConfig
+from repro.sim.wire import BITS_PER_ROUND, BITS_PER_TAG, Message
+
+
+@dataclass(frozen=True)
+class VabaMessage(Message):
+    """PROMOTE / ACK / DONE / VIEWCHANGE / DECIDE of one VABA instance."""
+
+    kind: str
+    view: int
+    step: int = 0
+    value: Payload | None = None
+
+    def wire_size(self, n: int) -> int:
+        bits = BITS_PER_TAG + BITS_PER_ROUND + 4
+        if self.value is not None:
+            bits += self.value.wire_bits(n)
+        return bits
+
+    def tag(self) -> str:
+        return f"vaba.{self.kind.lower()}"
+
+
+class _View:
+    __slots__ = ("acks", "dones", "acked", "viewchanges", "vc_sent", "elected")
+
+    def __init__(self) -> None:
+        self.acks: dict[int, set[int]] = {}  # step -> ack senders
+        self.dones: set[int] = set()
+        # proposer -> (highest step acked, value)
+        self.acked: dict[int, tuple[int, Payload]] = {}
+        self.viewchanges: dict[int, tuple[int, Payload | None]] = {}
+        self.vc_sent = False
+        self.elected: int | None = None
+
+
+#: Number of promotion steps (key / lock / commit / done ladder).
+PROMOTION_STEPS = 4
+
+
+class VabaSlot:
+    """One VABA instance at one process.
+
+    Args:
+        elect: ``elect(view) -> pid`` — the instance's leader-election coin.
+        send / broadcast: Transport callbacks (already slot-tagged).
+        on_decide: Called exactly once with the decided value.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        config: SystemConfig,
+        elect: Callable[[int], int],
+        send: Callable[[int, Message], None],
+        broadcast: Callable[[Message], None],
+        on_decide: Callable[[Payload], None],
+    ):
+        self.pid = pid
+        self.config = config
+        self._elect = elect
+        self._send = send
+        self._broadcast = broadcast
+        self._on_decide = on_decide
+        self.view = 1
+        self.value: Payload | None = None
+        self.decided: Payload | None = None
+        self._step = 0
+        self._views: dict[int, _View] = {}
+        self._decide_sent = False
+        self.views_used = 0  # for the expected-constant-views measurements
+
+    def propose(self, value: Payload) -> None:
+        """Input this party's (externally valid) value."""
+        if self.value is not None:
+            return
+        self.value = value
+        self._start_promotion()
+
+    # ------------------------------------------------------------- promotion
+
+    def _view_state(self, view: int) -> _View:
+        return self._views.setdefault(view, _View())
+
+    def _start_promotion(self) -> None:
+        self.views_used = max(self.views_used, self.view)
+        self._step = 1
+        self._broadcast(VabaMessage("PROMOTE", self.view, 1, self.value))
+
+    def handle(self, src: int, message: Message) -> None:
+        """Process one protocol message."""
+        if not isinstance(message, VabaMessage) or self.decided is not None:
+            if isinstance(message, VabaMessage) and message.kind == "DECIDE":
+                self._handle_decide(message)
+            return
+        if message.kind == "PROMOTE":
+            self._on_promote(src, message)
+        elif message.kind == "ACK":
+            self._on_ack(src, message)
+        elif message.kind == "DONE":
+            self._on_done(src, message)
+        elif message.kind == "VIEWCHANGE":
+            self._on_viewchange(src, message)
+        elif message.kind == "DECIDE":
+            self._handle_decide(message)
+
+    def _on_promote(self, src: int, msg: VabaMessage) -> None:
+        if msg.value is None or not 1 <= msg.step <= PROMOTION_STEPS:
+            return
+        state = self._view_state(msg.view)
+        best_step, _ = state.acked.get(src, (0, None))
+        if msg.step > best_step:
+            state.acked[src] = (msg.step, msg.value)
+        self._send(src, VabaMessage("ACK", msg.view, msg.step))
+
+    def _on_ack(self, src: int, msg: VabaMessage) -> None:
+        if msg.view != self.view or msg.step != self._step:
+            return
+        state = self._view_state(msg.view)
+        ackers = state.acks.setdefault(msg.step, set())
+        if src in ackers:
+            return
+        ackers.add(src)
+        if len(ackers) < self.config.quorum:
+            return
+        if self._step < PROMOTION_STEPS:
+            self._step += 1
+            self._broadcast(VabaMessage("PROMOTE", self.view, self._step, self.value))
+        else:
+            self._step = PROMOTION_STEPS + 1
+            self._broadcast(VabaMessage("DONE", self.view))
+
+    # ------------------------------------------------- election + view change
+
+    def _on_done(self, src: int, msg: VabaMessage) -> None:
+        state = self._view_state(msg.view)
+        state.dones.add(src)
+        if len(state.dones) >= self.config.quorum and state.elected is None:
+            state.elected = self._elect(msg.view)
+            self._send_viewchange(msg.view, state)
+
+    def _send_viewchange(self, view: int, state: _View) -> None:
+        if state.vc_sent or state.elected is None:
+            return
+        state.vc_sent = True
+        step, value = state.acked.get(state.elected, (0, None))
+        self._broadcast(VabaMessage("VIEWCHANGE", view, step, value))
+
+    def _on_viewchange(self, src: int, msg: VabaMessage) -> None:
+        state = self._view_state(msg.view)
+        if src in state.viewchanges:
+            return
+        state.viewchanges[src] = (msg.step, msg.value)
+        if len(state.viewchanges) < self.config.quorum:
+            return
+        if msg.view < self.view:
+            return  # already moved past this view
+        best_step = 0
+        best_value: Payload | None = None
+        for step, value in state.viewchanges.values():
+            if step > best_step and value is not None:
+                best_step, best_value = step, value
+        if best_step >= 3 and best_value is not None:
+            self._decide(best_value)
+            return
+        if best_step >= 2 and best_value is not None:
+            self.value = best_value  # adopt the leader's locked value
+        self.view = msg.view + 1
+        self._start_promotion()
+
+    # ---------------------------------------------------------------- decide
+
+    def _handle_decide(self, msg: VabaMessage) -> None:
+        if msg.value is not None:
+            self._decide(msg.value)
+
+    def _decide(self, value: Payload) -> None:
+        if self.decided is not None:
+            return
+        self.decided = value
+        if not self._decide_sent:
+            self._decide_sent = True
+            self._broadcast(VabaMessage("DECIDE", self.view, 0, value))
+        self._on_decide(value)

@@ -1,0 +1,249 @@
+"""Asynchronous verifiable information dispersal broadcast (Cachin-Tessaro [14]).
+
+The communication-optimal instantiation from Table 1 row 5. Instead of every
+phase carrying the full payload (Bracha), the sender Reed-Solomon-encodes the
+payload into ``n`` fragments (reconstruction threshold ``k = f + 1``),
+Merkle-commits to them, and each process only ever relays *its own* fragment
+with its authentication path:
+
+1. ``VAL(root, frag_j, proof_j)`` — sender to each process ``j``;
+2. ``ECHO(root, frag_j, proof_j)`` — each process broadcasts its fragment;
+3. on ``2f + 1`` valid ECHOs for one root: reconstruct, **verify** (re-encode
+   and recompute the root — this is the "verifiable" in AVID; a Byzantine
+   sender whose encoding is inconsistent is detected identically by every
+   correct process), then ``READY(root, frag_j, proof_j)``;
+4. ``f + 1`` READYs amplify to READY; ``2f + 1`` READYs + a reconstructed
+   payload deliver.
+
+Bit complexity per broadcast: O(n·|m|) for fragments (each of the n² relayed
+fragments is |m|/(f+1) ≈ 3|m|/n bits) plus O(n² log n) for Merkle proofs —
+matching the paper's O(n² log n + n·|m|), which with Θ(n log n) batching
+yields the amortized-O(n) column of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.broadcast.base import Payload, ReliableBroadcast
+from repro.codes.merkle import MerkleTree, verify_proof
+from repro.codes.reed_solomon import rs_decode, rs_encode
+from repro.sim.wire import (
+    BITS_PER_DIGEST,
+    BITS_PER_ROUND,
+    BITS_PER_TAG,
+    Message,
+    bits_for_process_id,
+)
+
+
+@dataclass(frozen=True)
+class AvidMessage(Message):
+    """One AVID step: kind in {VAL, ECHO, READY}; carries one fragment."""
+
+    kind: str
+    source: int
+    round: int
+    root: bytes
+    fragment_index: int
+    fragment: bytes
+    proof: tuple[bytes, ...]
+    data_len: int
+
+    def wire_size(self, n: int) -> int:
+        return (
+            BITS_PER_TAG
+            + bits_for_process_id(n)  # source
+            + BITS_PER_ROUND
+            + BITS_PER_DIGEST  # root
+            + bits_for_process_id(n)  # fragment index
+            + 8 * len(self.fragment)
+            + BITS_PER_DIGEST * len(self.proof)
+            + 32  # data length
+        )
+
+    def tag(self) -> str:
+        return f"avid.{self.kind.lower()}"
+
+
+class _Slot:
+    """Per-(source, round) dispersal state at one process."""
+
+    __slots__ = (
+        "my_fragment",
+        "echoed",
+        "readied",
+        "echo_fragments",
+        "ready_votes",
+        "ready_fragments",
+        "reconstructed",
+        "dead_roots",
+    )
+
+    def __init__(self) -> None:
+        self.my_fragment: AvidMessage | None = None
+        self.echoed = False
+        self.readied = False
+        # root -> {fragment_index: fragment bytes}
+        self.echo_fragments: dict[bytes, dict[int, bytes]] = {}
+        self.ready_votes: dict[bytes, set[int]] = {}
+        self.ready_fragments: dict[bytes, dict[int, bytes]] = {}
+        self.reconstructed: dict[bytes, bytes] = {}
+        self.dead_roots: set[bytes] = set()
+
+
+class AvidBroadcast(ReliableBroadcast):
+    """Per-process AVID endpoint.
+
+    Args (beyond the base class):
+        decode_payload: Turns reconstructed bytes back into a
+            :class:`Payload`; the DAG layer passes the vertex codec.
+    """
+
+    def __init__(self, *args, decode_payload: Callable[[bytes], Payload], **kwargs):
+        super().__init__(*args, **kwargs)
+        self._decode_payload = decode_payload
+        self._slots: dict[tuple[int, int], _Slot] = {}
+        self._k = self.config.small_quorum  # f + 1 reconstruction threshold
+
+    def r_bcast(self, payload: Payload, round_: int) -> None:
+        data = payload.to_bytes()
+        fragments = rs_encode(data, self._k, self.config.n)
+        tree = MerkleTree(fragments)
+        for j in self.config.processes:
+            self._send(
+                j,
+                AvidMessage(
+                    "VAL",
+                    self.pid,
+                    round_,
+                    tree.root,
+                    j,
+                    fragments[j],
+                    tuple(tree.proof(j)),
+                    len(data),
+                ),
+            )
+
+    def handle(self, src: int, message: Message) -> bool:
+        if not isinstance(message, AvidMessage):
+            return False
+        slot_key = (message.source, message.round)
+        if slot_key in self._delivered_slots:
+            return True
+        if not self._verify(message):
+            return True  # forged fragment; drop
+        slot = self._slots.setdefault(slot_key, _Slot())
+        if message.kind == "VAL":
+            self._on_val(src, message, slot)
+        elif message.kind == "ECHO":
+            self._on_echo(src, message, slot)
+        elif message.kind == "READY":
+            self._on_ready(src, message, slot)
+        return True
+
+    def _verify(self, message: AvidMessage) -> bool:
+        return verify_proof(
+            message.root,
+            message.fragment,
+            message.fragment_index,
+            list(message.proof),
+            self.config.n,
+        )
+
+    def _on_val(self, src: int, msg: AvidMessage, slot: _Slot) -> None:
+        if src != msg.source or msg.fragment_index != self.pid or slot.echoed:
+            return
+        slot.echoed = True
+        slot.my_fragment = msg
+        self._broadcast(
+            AvidMessage(
+                "ECHO",
+                msg.source,
+                msg.round,
+                msg.root,
+                msg.fragment_index,
+                msg.fragment,
+                msg.proof,
+                msg.data_len,
+            )
+        )
+
+    def _on_echo(self, src: int, msg: AvidMessage, slot: _Slot) -> None:
+        if msg.fragment_index != src:
+            return  # each process may only echo its own fragment
+        fragments = slot.echo_fragments.setdefault(msg.root, {})
+        fragments[msg.fragment_index] = msg.fragment
+        if len(fragments) >= self.config.quorum and not slot.readied:
+            payload_bytes = self._reconstruct(msg, fragments, slot)
+            if payload_bytes is None:
+                return
+            slot.readied = True
+            self._send_ready(msg, slot)
+        self._maybe_deliver(msg, slot)
+
+    def _on_ready(self, src: int, msg: AvidMessage, slot: _Slot) -> None:
+        if msg.fragment_index != src:
+            return
+        votes = slot.ready_votes.setdefault(msg.root, set())
+        if src in votes:
+            return
+        votes.add(src)
+        slot.ready_fragments.setdefault(msg.root, {})[msg.fragment_index] = msg.fragment
+        if len(votes) >= self.config.small_quorum and not slot.readied:
+            slot.readied = True
+            self._send_ready(msg, slot)
+        self._maybe_deliver(msg, slot)
+
+    def _send_ready(self, msg: AvidMessage, slot: _Slot) -> None:
+        mine = slot.my_fragment
+        if mine is not None and mine.root == msg.root:
+            index, fragment, proof = mine.fragment_index, mine.fragment, mine.proof
+        else:
+            # We never received our VAL (a Byzantine sender may withhold
+            # it). We cannot contribute our own fragment, so this READY
+            # reuses the triggering message's fragment — receivers drop it
+            # (fragment_index != sender), which is safe: delivery quorums
+            # are then carried by the >= 2f+1 correct VAL-holders that must
+            # exist for any root that reached the echo quorum.
+            index, fragment, proof = msg.fragment_index, msg.fragment, msg.proof
+        self._broadcast(
+            AvidMessage(
+                "READY", msg.source, msg.round, msg.root, index, fragment, proof, msg.data_len
+            )
+        )
+
+    def _reconstruct(
+        self, msg: AvidMessage, fragments: dict[int, bytes], slot: _Slot
+    ) -> bytes | None:
+        """Decode and *verify* the dispersal; poison the root on mismatch."""
+        if msg.root in slot.dead_roots:
+            return None
+        cached = slot.reconstructed.get(msg.root)
+        if cached is not None:
+            return cached
+        if len(fragments) < self._k:
+            return None
+        data = rs_decode(dict(fragments), self._k, msg.data_len)
+        # Verifiability: re-encode and check the Merkle root, so an
+        # inconsistent Byzantine encoding is rejected by everyone alike.
+        reencoded = rs_encode(data, self._k, self.config.n)
+        if MerkleTree(reencoded).root != msg.root:
+            slot.dead_roots.add(msg.root)
+            return None
+        slot.reconstructed[msg.root] = data
+        return data
+
+    def _maybe_deliver(self, msg: AvidMessage, slot: _Slot) -> None:
+        votes = slot.ready_votes.get(msg.root, set())
+        if len(votes) < self.config.quorum:
+            return
+        # Try to reconstruct from ready fragments if echoes were missed.
+        sources = dict(slot.echo_fragments.get(msg.root, {}))
+        sources.update(slot.ready_fragments.get(msg.root, {}))
+        data = self._reconstruct(msg, sources, slot)
+        if data is None:
+            return
+        self._slots.pop((msg.source, msg.round), None)
+        self._deliver(self._decode_payload(data), msg.round, msg.source)

@@ -1,0 +1,93 @@
+"""Reliable broadcast interface (paper §2) and the payload contract.
+
+A :class:`ReliableBroadcast` is a per-process component. The owning node
+wires it to the network (``send``/``broadcast`` functions) and to the DAG
+layer (the ``deliver`` callback, the paper's ``r_deliver`` output). Incoming
+transport messages are routed through :meth:`ReliableBroadcast.handle`.
+
+Integrity is enforced here once for all instantiations: at most one delivery
+per (source, round), regardless of payload.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.common.config import SystemConfig
+from repro.crypto.hashing import digest_bytes
+from repro.sim.wire import Message
+
+#: ``deliver(payload, round, source)`` — the paper's ``r_deliver`` output.
+DeliverCallback = Callable[["Payload", int, int], None]
+
+#: ``send(dst, message)`` point-to-point transport provided by the owner.
+SendFn = Callable[[int, Message], None]
+
+#: ``broadcast(message)`` best-effort send-to-all provided by the owner.
+BroadcastFn = Callable[[Message], None]
+
+
+class Payload(ABC):
+    """Anything a process can reliably broadcast.
+
+    Subclasses provide a canonical byte encoding; digest and wire size are
+    derived (and cached) from it, so communication accounting always matches
+    what serialization would actually put on the wire.
+    """
+
+    @abstractmethod
+    def to_bytes(self) -> bytes:
+        """Canonical binary encoding of the payload."""
+
+    @property
+    def digest(self) -> bytes:
+        """SHA-256 of the canonical encoding (cached)."""
+        cached = getattr(self, "_digest_cache", None)
+        if cached is None:
+            cached = digest_bytes(self.to_bytes())
+            object.__setattr__(self, "_digest_cache", cached)
+        return cached
+
+    def wire_bits(self, n: int) -> int:
+        """Size of the canonical encoding in bits (cached)."""
+        cached = getattr(self, "_wire_bits_cache", None)
+        if cached is None:
+            cached = 8 * len(self.to_bytes())
+            object.__setattr__(self, "_wire_bits_cache", cached)
+        return cached
+
+
+class ReliableBroadcast(ABC):
+    """Per-process endpoint of one reliable broadcast protocol."""
+
+    def __init__(
+        self,
+        pid: int,
+        config: SystemConfig,
+        send: SendFn,
+        broadcast: BroadcastFn,
+        deliver: DeliverCallback,
+    ):
+        self.pid = pid
+        self.config = config
+        self._send = send
+        self._broadcast = broadcast
+        self._deliver_upcall = deliver
+        self._delivered_slots: set[tuple[int, int]] = set()
+
+    @abstractmethod
+    def r_bcast(self, payload: Payload, round_: int) -> None:
+        """Reliably broadcast ``payload`` for this process's slot in ``round_``."""
+
+    @abstractmethod
+    def handle(self, src: int, message: Message) -> bool:
+        """Process a transport message; return True when it was consumed."""
+
+    def _deliver(self, payload: Payload, round_: int, source: int) -> None:
+        """Emit ``r_deliver`` once per (source, round) — the Integrity property."""
+        slot = (source, round_)
+        if slot in self._delivered_slots:
+            return
+        self._delivered_slots.add(slot)
+        self._deliver_upcall(payload, round_, source)

@@ -1,0 +1,216 @@
+"""Sample-based probabilistic reliable broadcast (Guerraoui et al. [25]).
+
+Reproduces the Murmur/Sieve/Contagion stack: every phase talks to random
+*samples* of O(log n) processes instead of everyone, cutting the message
+complexity of a broadcast from O(n²) to O(n log n) at the price of an ε
+probability of violating agreement/totality.
+
+Per-process samples (drawn at start-up, with subscription messages so peers
+know who to feed):
+
+* **gossip sample** (Murmur) — on first receipt of a payload, forward it to
+  this sample; with O(log n) fan-out the rumour reaches everyone whp.
+* **echo sample** (Sieve, consistency) — echo the first payload per slot to
+  echo-subscribers; a process accepts a payload once an
+  ``echo_ratio`` fraction of *its* echo sample echoed the same digest.
+* **ready + delivery samples** (Contagion, totality) — readies propagate
+  with a feedback threshold, and delivery fires once a ``delivery_ratio``
+  fraction of the delivery sample is ready.
+
+Late subscriptions are replayed: if a subscription arrives after this
+process already echoed/readied some slots, those messages are re-sent to the
+new subscriber, so start-up races cannot lose signal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.broadcast.base import Payload, ReliableBroadcast
+from repro.common.rng import derive_rng
+from repro.sim.wire import BITS_PER_ROUND, BITS_PER_TAG, Message, bits_for_process_id
+
+#: Subscription channels.
+_CHANNELS = ("echo", "ready")
+
+
+@dataclass(frozen=True)
+class GossipSubscribe(Message):
+    """Ask the recipient to feed us its future messages on ``channel``."""
+
+    channel: str
+
+    def wire_size(self, n: int) -> int:
+        return BITS_PER_TAG
+
+    def tag(self) -> str:
+        return f"gossip.subscribe.{self.channel}"
+
+
+@dataclass(frozen=True)
+class GossipMessage(Message):
+    """A phase message: kind in {GOSSIP, ECHO, READY}, payload attached."""
+
+    kind: str
+    source: int
+    round: int
+    payload: Payload
+
+    def wire_size(self, n: int) -> int:
+        return (
+            BITS_PER_TAG
+            + bits_for_process_id(n)
+            + BITS_PER_ROUND
+            + self.payload.wire_bits(n)
+        )
+
+    def tag(self) -> str:
+        return f"gossip.{self.kind.lower()}"
+
+
+class _Slot:
+    """Per-(source, round) state."""
+
+    __slots__ = ("payload", "gossiped", "echoed", "readied", "echo_votes", "ready_votes", "delivery_votes")
+
+    def __init__(self) -> None:
+        self.payload: Payload | None = None
+        self.gossiped = False
+        self.echoed = False
+        self.readied = False
+        self.echo_votes: dict[bytes, set[int]] = {}
+        self.ready_votes: dict[bytes, set[int]] = {}
+        self.delivery_votes: dict[bytes, set[int]] = {}
+
+
+class GossipBroadcast(ReliableBroadcast):
+    """Per-process endpoint of the probabilistic broadcast stack.
+
+    Args (beyond the base class):
+        sample_factor: Sample size is ``min(n, ceil(sample_factor · ln n))``.
+        echo_ratio / ready_ratio / delivery_ratio: Vote fractions of the
+            respective samples required to advance a phase.
+    """
+
+    def __init__(
+        self,
+        *args,
+        sample_factor: float = 4.0,
+        echo_ratio: float = 0.66,
+        ready_ratio: float = 0.33,
+        delivery_ratio: float = 0.66,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        n = self.config.n
+        self._sample_size = min(n, max(1, math.ceil(sample_factor * math.log(max(2, n)))))
+        self._echo_ratio = echo_ratio
+        self._ready_ratio = ready_ratio
+        self._delivery_ratio = delivery_ratio
+
+        rng = derive_rng(self.config.seed, "gossip-samples", self.pid)
+        population = list(self.config.processes)
+        self._gossip_sample = rng.sample(population, self._sample_size)
+        self._echo_sample = set(rng.sample(population, self._sample_size))
+        self._ready_sample = set(rng.sample(population, self._sample_size))
+        self._delivery_sample = set(rng.sample(population, self._sample_size))
+
+        self._subscribers: dict[str, set[int]] = {c: set() for c in _CHANNELS}
+        self._slots: dict[tuple[int, int], _Slot] = {}
+        self._sent_log: dict[str, list[GossipMessage]] = {c: [] for c in _CHANNELS}
+        self._subscribed = False
+
+    def _ensure_subscriptions(self) -> None:
+        """Lazily send subscription requests (idempotent)."""
+        if self._subscribed:
+            return
+        self._subscribed = True
+        for peer in self._echo_sample:
+            self._send(peer, GossipSubscribe("echo"))
+        for peer in self._ready_sample | self._delivery_sample:
+            self._send(peer, GossipSubscribe("ready"))
+
+    def r_bcast(self, payload: Payload, round_: int) -> None:
+        self._ensure_subscriptions()
+        message = GossipMessage("GOSSIP", self.pid, round_, payload)
+        self._on_gossip(self.pid, message)
+
+    def handle(self, src: int, message: Message) -> bool:
+        if isinstance(message, GossipSubscribe):
+            self._ensure_subscriptions()
+            if message.channel in self._subscribers:
+                self._subscribers[message.channel].add(src)
+                for past in self._sent_log[message.channel]:
+                    self._send(src, past)
+            return True
+        if not isinstance(message, GossipMessage):
+            return False
+        self._ensure_subscriptions()
+        if message.kind == "GOSSIP":
+            self._on_gossip(src, message)
+        elif message.kind == "ECHO":
+            self._on_echo(src, message)
+        elif message.kind == "READY":
+            self._on_ready(src, message)
+        return True
+
+    def _publish(self, channel: str, message: GossipMessage) -> None:
+        self._sent_log[channel].append(message)
+        for subscriber in self._subscribers[channel]:
+            self._send(subscriber, message)
+
+    def _slot(self, message: GossipMessage) -> _Slot:
+        return self._slots.setdefault((message.source, message.round), _Slot())
+
+    def _on_gossip(self, src: int, message: GossipMessage) -> None:
+        slot = self._slot(message)
+        if slot.gossiped:
+            return
+        slot.gossiped = True
+        slot.payload = message.payload
+        for peer in self._gossip_sample:
+            if peer != self.pid:
+                self._send(peer, message)
+        if not slot.echoed:
+            slot.echoed = True
+            self._publish(
+                "echo",
+                GossipMessage("ECHO", message.source, message.round, message.payload),
+            )
+
+    def _on_echo(self, src: int, message: GossipMessage) -> None:
+        if src not in self._echo_sample:
+            return
+        slot = self._slot(message)
+        voters = slot.echo_votes.setdefault(message.payload.digest, set())
+        voters.add(src)
+        threshold = max(1, math.ceil(self._echo_ratio * self._sample_size))
+        if len(voters) >= threshold and not slot.readied:
+            slot.readied = True
+            self._publish(
+                "ready",
+                GossipMessage("READY", message.source, message.round, message.payload),
+            )
+
+    def _on_ready(self, src: int, message: GossipMessage) -> None:
+        slot = self._slot(message)
+        digest = message.payload.digest
+        if src in self._ready_sample:
+            voters = slot.ready_votes.setdefault(digest, set())
+            voters.add(src)
+            threshold = max(1, math.ceil(self._ready_ratio * self._sample_size))
+            if len(voters) >= threshold and not slot.readied:
+                slot.readied = True
+                self._publish(
+                    "ready",
+                    GossipMessage(
+                        "READY", message.source, message.round, message.payload
+                    ),
+                )
+        if src in self._delivery_sample:
+            voters = slot.delivery_votes.setdefault(digest, set())
+            voters.add(src)
+            threshold = max(1, math.ceil(self._delivery_ratio * self._sample_size))
+            if len(voters) >= threshold:
+                self._deliver(message.payload, message.round, message.source)

@@ -1,0 +1,83 @@
+"""Low-level encoding helpers: length-prefixed bytes, ints, strings.
+
+All multi-byte integers are big-endian. A ``Reader`` tracks its offset and
+raises :class:`repro.common.errors.WireFormatError` on truncation, so the
+per-type decoders stay declarative.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import WireFormatError
+
+
+def encode_uint(value: int, width: int) -> bytes:
+    """Encode a non-negative integer into ``width`` big-endian bytes."""
+    if value < 0:
+        raise WireFormatError(f"negative unsigned value {value}")
+    try:
+        return value.to_bytes(width, "big")
+    except OverflowError as exc:
+        raise WireFormatError(f"{value} does not fit in {width} bytes") from exc
+
+
+def encode_bytes(data: bytes) -> bytes:
+    """Length-prefixed (4-byte) byte string."""
+    return struct.pack(">I", len(data)) + data
+
+
+def encode_str(text: str) -> bytes:
+    """Length-prefixed UTF-8 string."""
+    return encode_bytes(text.encode())
+
+
+def encode_bool(value: bool) -> bytes:
+    return b"\x01" if value else b"\x00"
+
+
+class Reader:
+    """Sequential decoder over a byte buffer."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def expect_end(self) -> None:
+        if self.remaining() != 0:
+            raise WireFormatError(f"{self.remaining()} trailing bytes")
+
+    def take(self, count: int) -> bytes:
+        if self.remaining() < count:
+            raise WireFormatError(
+                f"truncated: wanted {count} bytes, have {self.remaining()}"
+            )
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def uint(self, width: int) -> int:
+        return int.from_bytes(self.take(width), "big")
+
+    def bytes_(self) -> bytes:
+        length = self.uint(4)
+        return self.take(length)
+
+    def str_(self) -> str:
+        try:
+            return self.bytes_().decode()
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid UTF-8: {exc}") from exc
+
+    def bool_(self) -> bool:
+        value = self.take(1)[0]
+        if value not in (0, 1):
+            raise WireFormatError(f"invalid bool byte {value}")
+        return bool(value)

@@ -1,0 +1,278 @@
+"""Type-tagged encoders/decoders for every protocol message.
+
+Frame layout: ``1-byte type tag || type-specific body``. Payloads carried
+inside messages (vertices, blocks, dispersal references) use their own
+canonical codecs behind a 1-byte payload tag, so nested messages (e.g. a
+Bracha ECHO carrying a vertex, or a SlotMessage wrapping a VABA message)
+round-trip without pickle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.aba import AbaMessage
+from repro.baselines.dispersal import DispersalMessage
+from repro.baselines.dumbo import DispersalRef
+from repro.baselines.honeybadger import AbaEnvelope
+from repro.baselines.smr import SlotMessage
+from repro.baselines.vaba import VabaMessage
+from repro.broadcast.avid import AvidMessage
+from repro.broadcast.base import Payload
+from repro.broadcast.bracha import BrachaMessage
+from repro.broadcast.gossip import GossipMessage, GossipSubscribe
+from repro.codec.primitives import (
+    Reader,
+    encode_bool,
+    encode_bytes,
+    encode_str,
+    encode_uint,
+)
+from repro.coin.threshold import CoinShareMessage
+from repro.common.errors import WireFormatError
+from repro.dag.vertex import Vertex
+from repro.mempool.blocks import Block
+from repro.sim.wire import Message
+
+# --------------------------------------------------------------- payloads
+
+_PAYLOAD_TAGS: dict[type, int] = {Vertex: 1, Block: 2, DispersalRef: 3}
+
+
+def _encode_payload(payload: Payload | None) -> bytes:
+    if payload is None:
+        return b"\x00"
+    tag = _PAYLOAD_TAGS.get(type(payload))
+    if tag is None:
+        raise WireFormatError(f"unencodable payload {type(payload).__name__}")
+    return bytes([tag]) + encode_bytes(payload.to_bytes())
+
+
+def _decode_payload(reader: Reader) -> Payload | None:
+    tag = reader.take(1)[0]
+    if tag == 0:
+        return None
+    body = reader.bytes_()
+    if tag == 1:
+        return Vertex.from_bytes(body)
+    if tag == 2:
+        block, end = Block.from_bytes(body)
+        if end != len(body):
+            raise WireFormatError("trailing bytes after block")
+        return block
+    if tag == 3:
+        return DispersalRef.from_bytes(body)
+    raise WireFormatError(f"unknown payload tag {tag}")
+
+
+# --------------------------------------------------------------- messages
+
+def _encode_proof(proof: tuple[bytes, ...]) -> bytes:
+    return encode_uint(len(proof), 2) + b"".join(encode_bytes(p) for p in proof)
+
+
+def _decode_proof(reader: Reader) -> tuple[bytes, ...]:
+    count = reader.uint(2)
+    return tuple(reader.bytes_() for _ in range(count))
+
+
+def _enc_bracha(msg: BrachaMessage) -> bytes:
+    return (
+        encode_str(msg.kind)
+        + encode_uint(msg.source, 2)
+        + encode_uint(msg.round, 8)
+        + _encode_payload(msg.payload)
+    )
+
+
+def _dec_bracha(reader: Reader) -> BrachaMessage:
+    kind = reader.str_()
+    source = reader.uint(2)
+    round_ = reader.uint(8)
+    payload = _decode_payload(reader)
+    if payload is None:
+        raise WireFormatError("bracha message without payload")
+    return BrachaMessage(kind, source, round_, payload)
+
+
+def _enc_gossip(msg: GossipMessage) -> bytes:
+    return (
+        encode_str(msg.kind)
+        + encode_uint(msg.source, 2)
+        + encode_uint(msg.round, 8)
+        + _encode_payload(msg.payload)
+    )
+
+
+def _dec_gossip(reader: Reader) -> GossipMessage:
+    kind = reader.str_()
+    source = reader.uint(2)
+    round_ = reader.uint(8)
+    payload = _decode_payload(reader)
+    if payload is None:
+        raise WireFormatError("gossip message without payload")
+    return GossipMessage(kind, source, round_, payload)
+
+
+def _enc_subscribe(msg: GossipSubscribe) -> bytes:
+    return encode_str(msg.channel)
+
+
+def _dec_subscribe(reader: Reader) -> GossipSubscribe:
+    return GossipSubscribe(reader.str_())
+
+
+def _enc_avid(msg: AvidMessage) -> bytes:
+    return (
+        encode_str(msg.kind)
+        + encode_uint(msg.source, 2)
+        + encode_uint(msg.round, 8)
+        + encode_bytes(msg.root)
+        + encode_uint(msg.fragment_index, 2)
+        + encode_bytes(msg.fragment)
+        + _encode_proof(msg.proof)
+        + encode_uint(msg.data_len, 4)
+    )
+
+
+def _dec_avid(reader: Reader) -> AvidMessage:
+    return AvidMessage(
+        reader.str_(),
+        reader.uint(2),
+        reader.uint(8),
+        reader.bytes_(),
+        reader.uint(2),
+        reader.bytes_(),
+        _decode_proof(reader),
+        reader.uint(4),
+    )
+
+
+def _enc_coin_share(msg: CoinShareMessage) -> bytes:
+    return encode_uint(msg.instance, 8) + encode_uint(msg.value, 17)
+
+
+def _dec_coin_share(reader: Reader) -> CoinShareMessage:
+    return CoinShareMessage(reader.uint(8), reader.uint(17))
+
+
+def _enc_aba(msg: AbaMessage) -> bytes:
+    return encode_str(msg.kind) + encode_uint(msg.round, 8) + encode_uint(msg.value, 1)
+
+
+def _dec_aba(reader: Reader) -> AbaMessage:
+    return AbaMessage(reader.str_(), reader.uint(8), reader.uint(1))
+
+
+def _enc_aba_envelope(msg: AbaEnvelope) -> bytes:
+    return encode_uint(msg.index, 2) + _enc_aba(msg.inner)
+
+
+def _dec_aba_envelope(reader: Reader) -> AbaEnvelope:
+    return AbaEnvelope(reader.uint(2), _dec_aba(reader))
+
+
+def _enc_vaba(msg: VabaMessage) -> bytes:
+    return (
+        encode_str(msg.kind)
+        + encode_uint(msg.view, 8)
+        + encode_uint(msg.step, 1)
+        + _encode_payload(msg.value)
+    )
+
+
+def _dec_vaba(reader: Reader) -> VabaMessage:
+    return VabaMessage(
+        reader.str_(), reader.uint(8), reader.uint(1), _decode_payload(reader)
+    )
+
+
+def _enc_dispersal(msg: DispersalMessage) -> bytes:
+    return (
+        encode_str(msg.kind)
+        + encode_bytes(msg.root)
+        + encode_bool(msg.fragment_index >= 0)
+        + encode_uint(max(0, msg.fragment_index), 2)
+        + encode_bytes(msg.fragment)
+        + _encode_proof(msg.proof)
+        + encode_uint(msg.data_len, 4)
+    )
+
+
+def _dec_dispersal(reader: Reader) -> DispersalMessage:
+    kind = reader.str_()
+    root = reader.bytes_()
+    has_index = reader.bool_()
+    index = reader.uint(2)
+    return DispersalMessage(
+        kind,
+        root,
+        index if has_index else -1,
+        reader.bytes_(),
+        _decode_proof(reader),
+        reader.uint(4),
+    )
+
+
+def _enc_slot(msg: SlotMessage) -> bytes:
+    return encode_uint(msg.slot, 8) + encode_message(msg.inner)
+
+
+def _dec_slot(reader: Reader) -> SlotMessage:
+    slot = reader.uint(8)
+    inner = _decode_from_reader(reader)
+    return SlotMessage(slot, inner)
+
+
+# --------------------------------------------------------------- registry
+
+_REGISTRY: dict[type, tuple[int, Callable]] = {
+    BrachaMessage: (1, _enc_bracha),
+    GossipSubscribe: (2, _enc_subscribe),
+    GossipMessage: (3, _enc_gossip),
+    AvidMessage: (4, _enc_avid),
+    CoinShareMessage: (5, _enc_coin_share),
+    AbaMessage: (6, _enc_aba),
+    AbaEnvelope: (7, _enc_aba_envelope),
+    VabaMessage: (8, _enc_vaba),
+    DispersalMessage: (9, _enc_dispersal),
+    SlotMessage: (10, _enc_slot),
+}
+
+_DECODERS: dict[int, Callable[[Reader], Message]] = {
+    1: _dec_bracha,
+    2: _dec_subscribe,
+    3: _dec_gossip,
+    4: _dec_avid,
+    5: _dec_coin_share,
+    6: _dec_aba,
+    7: _dec_aba_envelope,
+    8: _dec_vaba,
+    9: _dec_dispersal,
+    10: _dec_slot,
+}
+
+
+def encode_message(message: Message) -> bytes:
+    """Encode any registered protocol message to its canonical frame."""
+    entry = _REGISTRY.get(type(message))
+    if entry is None:
+        raise WireFormatError(f"unencodable message {type(message).__name__}")
+    tag, encoder = entry
+    return bytes([tag]) + encoder(message)
+
+
+def _decode_from_reader(reader: Reader) -> Message:
+    tag = reader.take(1)[0]
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise WireFormatError(f"unknown message tag {tag}")
+    return decoder(reader)
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode a canonical frame; rejects trailing bytes."""
+    reader = Reader(data)
+    message = _decode_from_reader(reader)
+    reader.expect_end()
+    return message

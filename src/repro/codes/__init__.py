@@ -1,0 +1,24 @@
+"""Erasure codes and fragment authentication for AVID (paper [14]).
+
+* :mod:`repro.codes.gf256` — arithmetic in GF(2^8) with log/antilog tables.
+* :mod:`repro.codes.reed_solomon` — systematic Reed-Solomon encoding and
+  erasure decoding built on Lagrange interpolation over GF(2^8).
+* :mod:`repro.codes.merkle` — Merkle trees with membership proofs, used to
+  authenticate fragments against the dispersal root.
+"""
+
+from repro.codes.gf256 import gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from repro.codes.merkle import MerkleTree, verify_proof
+from repro.codes.reed_solomon import rs_decode, rs_encode
+
+__all__ = [
+    "MerkleTree",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_pow",
+    "rs_decode",
+    "rs_encode",
+    "verify_proof",
+]

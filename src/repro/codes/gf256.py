@@ -1,0 +1,79 @@
+"""Arithmetic in GF(2^8) = GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1).
+
+Uses the AES-adjacent reducing polynomial 0x11D with generator 0x02, the
+standard choice for Reed-Solomon codes. Multiplication and division go
+through precomputed log/antilog tables, so every operation is O(1).
+"""
+
+from __future__ import annotations
+
+#: Reducing polynomial for the field (x^8 + x^4 + x^3 + x^2 + 1).
+REDUCING_POLY = 0x11D
+
+#: Multiplicative generator of the field.
+GENERATOR = 0x02
+
+
+def _build_tables() -> tuple[list[int], list[int]]:
+    exp = [0] * 512  # doubled so gf_mul can skip one modulo
+    log = [0] * 256
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= REDUCING_POLY
+    for power in range(255, 512):
+        exp[power] = exp[power - 255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition (and subtraction) in GF(2^8) is XOR."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; raises ZeroDivisionError for 0."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(2^8)")
+    return _EXP[255 - _LOG[a]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b``."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Raise ``a`` to an integer power (negative powers via the inverse)."""
+    if a == 0:
+        if exponent == 0:
+            return 1
+        if exponent < 0:
+            raise ZeroDivisionError("0 to a negative power in GF(2^8)")
+        return 0
+    return _EXP[(_LOG[a] * exponent) % 255]
+
+
+def poly_eval(coefficients: list[int], x: int) -> int:
+    """Evaluate a polynomial (coefficients low-to-high) at ``x`` by Horner."""
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = gf_mul(result, x) ^ coefficient
+    return result

@@ -1,0 +1,83 @@
+"""Merkle trees with membership proofs.
+
+AVID (paper [14]) authenticates erasure-code fragments against a single
+dispersal root: the sender Merkle-commits to the ``n`` fragments, and every
+fragment travels with its authentication path so receivers can verify it
+against the root before echoing or storing it.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import digest_bytes
+
+#: Domain-separation prefixes rule out leaf/interior second-preimage tricks.
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return digest_bytes(_LEAF_PREFIX + data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return digest_bytes(_NODE_PREFIX + left + right)
+
+
+class MerkleTree:
+    """A Merkle tree over a fixed list of byte-string leaves.
+
+    Odd levels duplicate the trailing node (Bitcoin-style padding), so any
+    positive leaf count works.
+    """
+
+    def __init__(self, leaves: list[bytes]):
+        if not leaves:
+            raise ValueError("Merkle tree needs at least one leaf")
+        self.leaf_count = len(leaves)
+        self._levels: list[list[bytes]] = [[_leaf_hash(leaf) for leaf in leaves]]
+        while len(self._levels[-1]) > 1:
+            level = self._levels[-1]
+            if len(level) % 2:
+                level = level + [level[-1]]
+            self._levels.append(
+                [
+                    _node_hash(level[i], level[i + 1])
+                    for i in range(0, len(level), 2)
+                ]
+            )
+
+    @property
+    def root(self) -> bytes:
+        """The tree root committing to all leaves."""
+        return self._levels[-1][0]
+
+    def proof(self, index: int) -> list[bytes]:
+        """Return the authentication path for leaf ``index``."""
+        if not 0 <= index < self.leaf_count:
+            raise IndexError(f"leaf {index} out of range")
+        path = []
+        for level in self._levels[:-1]:
+            if len(level) % 2:
+                level = level + [level[-1]]
+            sibling = index ^ 1
+            path.append(level[sibling])
+            index //= 2
+        return path
+
+
+def verify_proof(
+    root: bytes, leaf: bytes, index: int, proof: list[bytes], leaf_count: int
+) -> bool:
+    """Check that ``leaf`` sits at ``index`` in the tree committed by ``root``."""
+    if not 0 <= index < leaf_count:
+        return False
+    node = _leaf_hash(leaf)
+    width = leaf_count
+    for sibling in proof:
+        if index % 2:
+            node = _node_hash(sibling, node)
+        else:
+            node = _node_hash(node, sibling)
+        index //= 2
+        width = (width + 1) // 2
+    return width == 1 and node == root

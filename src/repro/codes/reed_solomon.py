@@ -1,0 +1,101 @@
+"""Systematic Reed-Solomon erasure coding over GF(2^8).
+
+The encoder splits the payload into columns of ``k`` bytes and views each
+column as the evaluations of a degree < ``k`` polynomial at points
+``x = 1..k``. Fragment ``j`` carries each polynomial's value at ``x = j+1``,
+so the first ``k`` fragments *are* the data (systematic). Any ``k`` fragments
+reconstruct every column by Lagrange interpolation — the property AVID [14]
+uses to disperse a block at ``n/k`` storage blow-up while tolerating ``n - k``
+missing fragments.
+"""
+
+from __future__ import annotations
+
+from repro.codes.gf256 import gf_div, gf_mul
+
+#: GF(2^8) has 255 usable nonzero evaluation points.
+MAX_SHARDS = 255
+
+
+def _lagrange_weights(xs: list[int], target: int) -> list[int]:
+    """Weights ``w_i`` with ``P(target) = XOR_i gf_mul(w_i, y_i)`` for points ``xs``."""
+    weights = []
+    for i, x_i in enumerate(xs):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            numerator = gf_mul(numerator, target ^ x_j)
+            denominator = gf_mul(denominator, x_i ^ x_j)
+        weights.append(gf_div(numerator, denominator))
+    return weights
+
+
+def rs_encode(data: bytes, k: int, n: int) -> list[bytes]:
+    """Encode ``data`` into ``n`` fragments, any ``k`` of which reconstruct it.
+
+    The data is zero-padded to a multiple of ``k``; callers pass the original
+    length to :func:`rs_decode`. Fragment ``j`` is the evaluation of every
+    column polynomial at point ``j + 1``.
+    """
+    if not 1 <= k <= n <= MAX_SHARDS:
+        raise ValueError(f"need 1 <= k <= n <= {MAX_SHARDS}, got k={k}, n={n}")
+    columns = max(1, -(-len(data) // k))  # at least one column even when empty
+    padded = data.ljust(columns * k, b"\x00")
+
+    data_points = list(range(1, k + 1))
+    fragments = [bytearray(columns) for _ in range(n)]
+    # Systematic part: fragment j < k is the j-th byte of every column.
+    for j in range(k):
+        row = fragments[j]
+        for c in range(columns):
+            row[c] = padded[c * k + j]
+    # Parity part: evaluate each column polynomial at the remaining points.
+    for j in range(k, n):
+        weights = _lagrange_weights(data_points, j + 1)
+        row = fragments[j]
+        for c in range(columns):
+            base = c * k
+            acc = 0
+            for i in range(k):
+                byte = padded[base + i]
+                if byte:
+                    acc ^= gf_mul(weights[i], byte)
+            row[c] = acc
+    return [bytes(fragment) for fragment in fragments]
+
+
+def rs_decode(fragments: dict[int, bytes], k: int, data_len: int) -> bytes:
+    """Reconstruct the payload from any ``k`` fragments.
+
+    Args:
+        fragments: Mapping from fragment index (0-based) to fragment bytes.
+        k: Reconstruction threshold used at encode time.
+        data_len: Length of the original payload (strips padding).
+    """
+    if len(fragments) < k:
+        raise ValueError(f"need {k} fragments, got {len(fragments)}")
+    available = sorted(fragments)[:k]
+    columns = len(fragments[available[0]])
+    if any(len(fragments[j]) != columns for j in available):
+        raise ValueError("fragments have inconsistent lengths")
+
+    source_points = [j + 1 for j in available]
+    rows = [fragments[j] for j in available]
+    out = bytearray(columns * k)
+    for target in range(1, k + 1):
+        if target in source_points:
+            row = rows[source_points.index(target)]
+            for c in range(columns):
+                out[c * k + target - 1] = row[c]
+            continue
+        weights = _lagrange_weights(source_points, target)
+        for c in range(columns):
+            acc = 0
+            for weight, row in zip(weights, rows):
+                byte = row[c]
+                if byte:
+                    acc ^= gf_mul(weight, byte)
+            out[c * k + target - 1] = acc
+    return bytes(out[:data_len])

@@ -1,0 +1,48 @@
+"""Asynchronous coin interface shared by the ideal and threshold coins.
+
+``choose_leader`` in the paper is a blocking call; in the message-driven
+simulator the equivalent is *invoke now, observe later*: a process calls
+:meth:`CoinProtocol.invoke` when it completes a wave, and consumers poll
+:meth:`CoinProtocol.leader_of` or register a resolution callback.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+#: Callback fired as ``callback(instance, leader)`` when an instance resolves.
+ResolutionCallback = Callable[[int, int], None]
+
+
+class CoinProtocol(ABC):
+    """Common machinery: invocation tracking and resolution callbacks."""
+
+    def __init__(self) -> None:
+        self._resolved: dict[int, int] = {}
+        self._callbacks: list[ResolutionCallback] = []
+
+    @abstractmethod
+    def invoke(self, instance: int) -> None:
+        """Invoke coin ``instance`` (release this process's contribution)."""
+
+    def leader_of(self, instance: int) -> int | None:
+        """Return the elected leader for ``instance`` if resolved, else None."""
+        return self._resolved.get(instance)
+
+    def subscribe(self, callback: ResolutionCallback) -> None:
+        """Register ``callback(instance, leader)`` for future resolutions.
+
+        Fires immediately for instances already resolved, so subscription
+        order cannot drop events.
+        """
+        self._callbacks.append(callback)
+        for instance, leader in sorted(self._resolved.items()):
+            callback(instance, leader)
+
+    def _resolve(self, instance: int, leader: int) -> None:
+        if instance in self._resolved:
+            return
+        self._resolved[instance] = leader
+        for callback in list(self._callbacks):
+            callback(instance, leader)

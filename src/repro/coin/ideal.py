@@ -1,0 +1,35 @@
+"""Ideal global perfect coin.
+
+Derives each instance's leader deterministically from the run seed, so every
+process with the same seed agrees (Agreement), resolution is immediate
+(Termination), and leaders are uniform over the process set (Fairness).
+Unpredictability is a modelling convention: honest components only look at a
+leader through :meth:`invoke`/``leader_of``, while adversary strategies that
+are *meant* to break unpredictability (the post-quantum-safety bench) are
+handed :meth:`oracle` explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.coin.base import CoinProtocol
+from repro.common.rng import derive_rng
+
+
+class IdealCoin(CoinProtocol):
+    """Instantly-resolving perfect coin shared by all processes of a run."""
+
+    def __init__(self, seed: int, n: int):
+        super().__init__()
+        self._seed = seed
+        self._n = n
+
+    def oracle(self, instance: int) -> int:
+        """Peek at the leader of ``instance`` without invoking the coin.
+
+        Simulation-only API for oracles (test assertions) and for the
+        coin-predicting adversary of the PQ-safety experiment.
+        """
+        return derive_rng(self._seed, "ideal-coin", instance).randrange(self._n)
+
+    def invoke(self, instance: int) -> None:
+        self._resolve(instance, self.oracle(instance))

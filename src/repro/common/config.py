@@ -1,0 +1,86 @@
+"""System-wide configuration shared by every protocol component."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import (
+    WAVE_LENGTH,
+    byzantine_quorum,
+    fault_tolerance,
+    validity_quorum,
+)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Immutable description of one deployment.
+
+    Attributes:
+        n: Total number of processes (paper assumes ``n = 3f + 1``).
+        seed: Master seed from which all component randomness is derived.
+        wave_length: Rounds per wave; the paper fixes 4, the ablation
+            benches lower it to show where the common-core argument breaks.
+        genesis_size: Number of hardcoded round-0 vertices (Algorithm 1 uses
+            ``2f + 1``; we default to ``n`` so every process has a round-0
+            vertex to strongly reference, which satisfies the same bound).
+        byzantine: Ids of processes controlled by the adversary.
+    """
+
+    n: int
+    seed: int = 0
+    wave_length: int = WAVE_LENGTH
+    genesis_size: int | None = None
+    byzantine: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be positive, got {self.n}")
+        if self.wave_length < 1:
+            raise ConfigurationError(
+                f"wave_length must be positive, got {self.wave_length}"
+            )
+        if self.genesis_size is None:
+            object.__setattr__(self, "genesis_size", self.n)
+        if not self.quorum <= self.genesis_size <= self.n:
+            raise ConfigurationError(
+                f"genesis_size {self.genesis_size} outside [{self.quorum}, {self.n}]"
+            )
+        byz = frozenset(self.byzantine)
+        object.__setattr__(self, "byzantine", byz)
+        if any(not 0 <= p < self.n for p in byz):
+            raise ConfigurationError(f"byzantine ids {sorted(byz)} out of range")
+        if len(byz) > self.f:
+            raise ConfigurationError(
+                f"{len(byz)} byzantine processes exceeds f={self.f}"
+            )
+
+    @property
+    def f(self) -> int:
+        """Maximum tolerated Byzantine processes (``(n - 1) // 3``)."""
+        return fault_tolerance(self.n)
+
+    @property
+    def quorum(self) -> int:
+        """Byzantine quorum ``2f + 1``."""
+        return byzantine_quorum(self.n)
+
+    @property
+    def small_quorum(self) -> int:
+        """Validity/intersection quorum ``f + 1``."""
+        return validity_quorum(self.n)
+
+    @property
+    def processes(self) -> range:
+        """All process ids, ``0..n-1``."""
+        return range(self.n)
+
+    @property
+    def correct(self) -> list[int]:
+        """Ids of processes not controlled by the adversary."""
+        return [p for p in self.processes if p not in self.byzantine]
+
+    def is_correct(self, process: int) -> bool:
+        """Return True when ``process`` is not adversary-controlled."""
+        return process not in self.byzantine

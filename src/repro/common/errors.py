@@ -1,0 +1,37 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid :class:`repro.common.config.SystemConfig` or component setup."""
+
+
+class ProtocolError(ReproError):
+    """A protocol-level violation detected at runtime.
+
+    Raised when a message or state transition breaks an invariant the
+    protocol depends on — e.g. a vertex with fewer than ``2f + 1`` strong
+    edges reaching the DAG layer, or a reliable-broadcast instance delivering
+    twice for the same (source, round).
+    """
+
+
+class DagError(ReproError):
+    """Structural violation in a local DAG (unknown parent, duplicate slot)."""
+
+
+class SecretSharingError(ReproError):
+    """Failure in Shamir sharing / threshold-coin reconstruction."""
+
+
+class WireFormatError(ReproError):
+    """A message failed to encode or decode on the simulated wire."""

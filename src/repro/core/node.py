@@ -1,0 +1,273 @@
+"""A complete DAG-Rider process.
+
+Assembles the stack of the paper: reliable broadcast (pluggable — Bracha,
+gossip, or AVID, the three Table 1 instantiations), the Algorithm 2 DAG
+builder, a global perfect coin (ideal, threshold with dedicated share
+messages, or threshold with shares piggybacked on DAG vertices per the
+paper's footnote 1), and the Algorithm 3 ordering logic.
+
+Public BAB surface:
+
+* :meth:`DagRiderNode.a_bcast` — propose a block of transactions;
+* :attr:`DagRiderNode.ordered` — the ``a_deliver`` output log, a list of
+  :class:`OrderedEntry` in delivery order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.broadcast.avid import AvidBroadcast
+from repro.broadcast.base import ReliableBroadcast
+from repro.broadcast.bracha import BrachaBroadcast
+from repro.broadcast.gossip import GossipBroadcast
+from repro.coin.base import CoinProtocol
+from repro.coin.ideal import IdealCoin
+from repro.coin.threshold import CoinShareMessage, ThresholdCoin
+from repro.common.errors import ConfigurationError
+from repro.crypto.dealer import CoinDealer
+from repro.dag.builder import DagBuilder
+from repro.dag.vertex import Vertex
+from repro.mempool.blocks import Block, BlockSource, TransactionGenerator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.wire import Message
+
+#: Reliable-broadcast instantiations by name (the Table 1 rows).
+BROADCASTS: dict[str, type[ReliableBroadcast]] = {
+    "bracha": BrachaBroadcast,
+    "gossip": GossipBroadcast,
+    "avid": AvidBroadcast,
+}
+
+#: Coin modes: ideal functionality, dedicated share messages, or shares
+#: riding inside DAG vertices (paper footnote 1).
+COIN_MODES = ("ideal", "threshold", "piggyback")
+
+
+@dataclass(frozen=True)
+class OrderedEntry:
+    """One ``a_deliver`` output with its delivery position and time."""
+
+    position: int
+    block: Block
+    round: int
+    source: int
+    time: float
+
+
+class DagRiderNode(Process):
+    """One correct DAG-Rider process in the simulator."""
+
+    def __init__(
+        self,
+        pid: int,
+        network: Network,
+        broadcast: str = "bracha",
+        coin_mode: str = "ideal",
+        dealer: CoinDealer | None = None,
+        block_source: BlockSource | None = None,
+        batch_size: int = 1,
+        tx_bytes: int = 64,
+        broadcast_kwargs: dict | None = None,
+        on_deliver: Callable[[OrderedEntry], None] | None = None,
+        enable_weak_edges: bool = True,
+        commit_quorum: int | None = None,
+        gc_depth: int | None = None,
+        tracer=None,
+    ):
+        super().__init__(pid, network)
+        config = self.config
+        if broadcast not in BROADCASTS:
+            raise ConfigurationError(f"unknown broadcast {broadcast!r}")
+        if coin_mode not in COIN_MODES:
+            raise ConfigurationError(f"unknown coin mode {coin_mode!r}")
+        if coin_mode != "ideal" and dealer is None:
+            raise ConfigurationError(f"coin mode {coin_mode!r} needs a dealer")
+
+        self.ordered: list[OrderedEntry] = []
+        self._on_deliver = on_deliver
+        # GC policy (an extension following DAG-Rider's descendants —
+        # Narwhal/Bullshark): once every vertex below a round is delivered,
+        # keep ``gc_depth`` rounds of margin for stragglers and collect the
+        # rest. None (the default) is the paper-faithful unbounded DAG.
+        self._gc_depth = gc_depth
+        self._tracer = tracer  # optional repro.sim.trace.Tracer
+
+        if block_source is None:
+            block_source = BlockSource(
+                pid,
+                TransactionGenerator(config.seed, pid, tx_bytes),
+                batch_size=batch_size,
+            )
+        self.block_source = block_source
+
+        self.coin = self._make_coin(coin_mode, dealer)
+        self._coin_mode = coin_mode
+
+        share_provider = None
+        if coin_mode == "piggyback":
+            key = dealer.key_for(pid)
+            wave_length = config.wave_length
+
+            def share_provider(round_: int) -> int | None:
+                # A vertex in round(w+1, 1) = wave_length*w + 1 carries this
+                # process's share of coin instance w (w >= 1).
+                if round_ % wave_length == 1 and round_ > wave_length:
+                    return key.share((round_ - 1) // wave_length)
+                return None
+
+        self.builder = DagBuilder(
+            pid,
+            config,
+            block_source,
+            on_wave_ready=self._on_wave_ready,
+            on_vertex_added=self._on_vertex_added,
+            coin_share_provider=share_provider,
+            enable_weak_edges=enable_weak_edges,
+        )
+        self.store = self.builder.store
+
+        kwargs = dict(broadcast_kwargs or {})
+        if broadcast == "avid":
+            kwargs.setdefault("decode_payload", Vertex.from_bytes)
+        self.rbc = BROADCASTS[broadcast](
+            pid,
+            config,
+            send=self.send,
+            broadcast=self.broadcast,
+            deliver=self.builder.on_r_deliver,
+            **kwargs,
+        )
+        self.builder.attach_broadcast(self.rbc)
+
+        from repro.core.ordering import DagRiderOrdering  # cycle-free import
+
+        self.ordering = DagRiderOrdering(
+            pid,
+            config,
+            self.store,
+            self.coin,
+            a_deliver=self._record_delivery,
+            clock=lambda: self.now,
+            commit_quorum=commit_quorum,
+        )
+
+    # -------------------------------------------------------------- plumbing
+
+    def _make_coin(self, coin_mode: str, dealer: CoinDealer | None) -> CoinProtocol:
+        if coin_mode == "ideal":
+            return IdealCoin(self.config.seed, self.config.n)
+        assert dealer is not None
+        if coin_mode == "threshold":
+            broadcast_share = self.broadcast
+        else:  # piggyback: shares travel inside vertices, no extra messages
+            def broadcast_share(message: CoinShareMessage) -> None:
+                return None
+
+        return ThresholdCoin(
+            self.pid, dealer, dealer.key_for(self.pid), broadcast_share
+        )
+
+    def start(self) -> None:
+        self.builder.start()
+
+    def on_message(self, src: int, message: Message) -> None:
+        if isinstance(message, CoinShareMessage):
+            if isinstance(self.coin, ThresholdCoin):
+                self.coin.on_message(src, message)
+            return
+        self.rbc.handle(src, message)
+
+    def _on_wave_ready(self, wave: int) -> None:
+        if self._tracer is not None:
+            self._tracer.record(self.now, self.pid, "wave_ready", wave=wave)
+        commits_before = len(self.ordering.commits)
+        self.ordering.wave_ready(wave)
+        if self._tracer is not None:
+            for record in self.ordering.commits[commits_before:]:
+                self._tracer.record(
+                    self.now,
+                    self.pid,
+                    "commit",
+                    wave=record.wave,
+                    leaders=len(record.leader_chain),
+                    delivered=record.delivered_count,
+                )
+        self._maybe_collect()
+
+    def _maybe_collect(self) -> None:
+        """Apply the GC policy after ordering may have advanced."""
+        if self._gc_depth is None:
+            return
+        from repro.common.types import round_of_wave
+
+        decided = self.ordering.decided_wave
+        if decided < 1:
+            return
+        # Largest round prefix that is fully delivered in this local DAG.
+        frontier = self.store.collected_floor
+        probe = max(1, frontier)
+        while True:
+            vertices = self.store.round(probe)
+            if not vertices or not all(
+                self.ordering.is_delivered(v.ref) for v in vertices.values()
+            ):
+                break
+            frontier = probe + 1
+            probe += 1
+        horizon = min(
+            frontier - self._gc_depth,
+            round_of_wave(decided, 1, self.config.wave_length),
+            self.builder.round - 2,
+        )
+        if horizon > self.store.collected_floor:
+            self.ordering.compact_store(horizon)
+
+    def _on_vertex_added(self, vertex: Vertex) -> None:
+        if self._tracer is not None:
+            self._tracer.record(
+                self.now,
+                self.pid,
+                "vertex_added",
+                round=vertex.round,
+                source=vertex.source,
+                weak=len(vertex.weak_parents),
+            )
+        if self._coin_mode == "piggyback" and vertex.coin_share is not None:
+            wave_length = self.config.wave_length
+            if vertex.round % wave_length == 1 and vertex.round > wave_length:
+                instance = (vertex.round - 1) // wave_length
+                assert isinstance(self.coin, ThresholdCoin)
+                self.coin.deliver_share(vertex.source, instance, vertex.coin_share)
+        # Late vertices may complete a wave's commit support only at the
+        # *next* wave evaluation per the paper; nothing to do here.
+
+    def _record_delivery(self, block: Block, round_: int, source: int) -> None:
+        entry = OrderedEntry(len(self.ordered), block, round_, source, self.now)
+        self.ordered.append(entry)
+        if self._tracer is not None:
+            self._tracer.record(
+                self.now, self.pid, "a_deliver", round=round_, source=source
+            )
+        if self._on_deliver is not None:
+            self._on_deliver(entry)
+
+    # ------------------------------------------------------------ public API
+
+    def a_bcast(self, *transactions: bytes) -> Block:
+        """Propose transactions as a block (the BAB ``a_bcast``)."""
+        block = self.block_source.enqueue_transactions(*transactions)
+        self.builder.on_blocks_available()
+        return block
+
+    @property
+    def decided_wave(self) -> int:
+        """Highest wave this process has committed."""
+        return self.ordering.decided_wave
+
+    @property
+    def current_round(self) -> int:
+        """The DAG round this process is currently broadcasting in."""
+        return self.builder.round

@@ -1,0 +1,49 @@
+"""SHA-256 digests over canonical encodings of Python values."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def digest_bytes(data: bytes) -> bytes:
+    """Return the SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def _canonical(value: object, out: list[bytes]) -> None:
+    """Append a canonical, type-prefixed encoding of ``value`` to ``out``.
+
+    Supports the value shapes protocols hash: ints, strings, bytes, None,
+    and (nested) tuples/lists. The type prefix rules out cross-type
+    collisions such as ``1`` vs ``"1"``.
+    """
+    if value is None:
+        out.append(b"N")
+    elif isinstance(value, bool):
+        out.append(b"B1" if value else b"B0")
+    elif isinstance(value, int):
+        encoded = str(value).encode()
+        out.append(b"I" + len(encoded).to_bytes(4, "big") + encoded)
+    elif isinstance(value, str):
+        encoded = value.encode()
+        out.append(b"S" + len(encoded).to_bytes(4, "big") + encoded)
+    elif isinstance(value, bytes):
+        out.append(b"Y" + len(value).to_bytes(4, "big") + value)
+    elif isinstance(value, (tuple, list)):
+        out.append(b"T" + len(value).to_bytes(4, "big"))
+        for item in value:
+            _canonical(item, out)
+    else:
+        raise TypeError(f"cannot canonically encode {type(value).__name__}")
+
+
+def digest_of(*values: object) -> bytes:
+    """Return the SHA-256 digest of a canonical encoding of ``values``."""
+    out: list[bytes] = []
+    _canonical(tuple(values), out)
+    return digest_bytes(b"".join(out))
+
+
+def digest_int(*values: object) -> int:
+    """Return :func:`digest_of` interpreted as a big-endian integer."""
+    return int.from_bytes(digest_of(*values), "big")

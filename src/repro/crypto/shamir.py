@@ -1,0 +1,75 @@
+"""Shamir secret sharing over a 128-bit prime field.
+
+Implements the real scheme [Shamir 1979]: a degree-``t-1`` polynomial with
+the secret as constant term, shares are evaluations at points ``1..n``, and
+any ``t`` shares reconstruct the secret by Lagrange interpolation at zero
+while ``t - 1`` shares reveal nothing (information-theoretic secrecy — the
+property the paper leans on for the coin's post-quantum agreement guarantee).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.common.errors import SecretSharingError
+
+#: A 128-bit prime (2**128 - 159), large enough for coin secrets.
+PRIME = 2**128 - 159
+
+Share = tuple[int, int]  # (x, y) with x in 1..n
+
+
+def share_secret(
+    secret: int, threshold: int, n: int, rng: random.Random
+) -> list[Share]:
+    """Split ``secret`` into ``n`` shares, any ``threshold`` of which reconstruct it.
+
+    Args:
+        secret: The value to share, reduced mod :data:`PRIME`.
+        threshold: Minimum shares for reconstruction (polynomial degree + 1).
+        n: Total shares to produce (evaluation points ``1..n``).
+        rng: Randomness source for the polynomial coefficients.
+    """
+    if not 1 <= threshold <= n:
+        raise SecretSharingError(f"threshold {threshold} outside [1, {n}]")
+    coefficients = [secret % PRIME] + [
+        rng.randrange(PRIME) for _ in range(threshold - 1)
+    ]
+    return [(x, _eval_poly(coefficients, x)) for x in range(1, n + 1)]
+
+
+def _eval_poly(coefficients: Sequence[int], x: int) -> int:
+    """Evaluate a polynomial (coefficients low-to-high) at ``x`` mod PRIME."""
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * x + coefficient) % PRIME
+    return result
+
+
+def lagrange_interpolate_at_zero(points: Sequence[Share]) -> int:
+    """Interpolate the unique polynomial through ``points`` and return P(0)."""
+    xs = [x for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise SecretSharingError(f"duplicate share points in {xs}")
+    total = 0
+    for i, (x_i, y_i) in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, (x_j, _) in enumerate(points):
+            if i == j:
+                continue
+            numerator = (numerator * (-x_j)) % PRIME
+            denominator = (denominator * (x_i - x_j)) % PRIME
+        total = (total + y_i * numerator * pow(denominator, -1, PRIME)) % PRIME
+    return total
+
+
+def reconstruct_secret(shares: Iterable[Share], threshold: int) -> int:
+    """Reconstruct the secret from at least ``threshold`` shares."""
+    share_list = list(shares)
+    if len(share_list) < threshold:
+        raise SecretSharingError(
+            f"need {threshold} shares, got {len(share_list)}"
+        )
+    return lagrange_interpolate_at_zero(share_list[:threshold])

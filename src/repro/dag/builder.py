@@ -1,0 +1,214 @@
+"""DAG construction — Algorithm 2 of the paper, event-driven.
+
+The pseudocode's ``while True`` loop becomes :meth:`DagBuilder._advance`,
+re-run whenever an event could unblock progress (a reliable-broadcast
+delivery, or a block becoming available for the ``wait until`` of Line 17).
+The behaviour is the same:
+
+* delivered vertices are validated (claimed source/round must match the
+  authenticated broadcast metadata; at least ``2f + 1`` strong edges — Lines
+  22-26) and buffered;
+* a buffered vertex joins the DAG once every parent it references is present
+  (Line 7), which maintains Claim 1 (causal history always complete);
+* when the current round has ``2f + 1`` vertices the process advances,
+  signals ``wave_ready`` on wave boundaries (Lines 10-12), and creates and
+  reliably broadcasts its next vertex with strong edges to the *entire*
+  previous round and weak edges to every otherwise-unreachable older vertex
+  (Lines 14-21 and 27-31).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.broadcast.base import Payload, ReliableBroadcast
+from repro.common.config import SystemConfig
+from repro.dag.store import DagStore
+from repro.dag.vertex import Ref, Vertex
+from repro.mempool.blocks import BlockSource
+
+#: ``wave_ready(w)`` — the Line 12 signal to the ordering layer.
+WaveReadyCallback = Callable[[int], None]
+
+#: Fired after a vertex enters the local DAG (share extraction, stats).
+VertexAddedCallback = Callable[[Vertex], None]
+
+#: Optional provider of a piggybacked coin share for a round's new vertex.
+CoinShareProvider = Callable[[int], int | None]
+
+
+class DagBuilder:
+    """Per-process DAG construction state machine (Algorithm 2)."""
+
+    def __init__(
+        self,
+        pid: int,
+        config: SystemConfig,
+        block_source: BlockSource,
+        on_wave_ready: WaveReadyCallback,
+        on_vertex_added: VertexAddedCallback | None = None,
+        coin_share_provider: CoinShareProvider | None = None,
+        enable_weak_edges: bool = True,
+        on_round_advance: Callable[[int], None] | None = None,
+    ):
+        self.pid = pid
+        self.config = config
+        self.store = DagStore(config.genesis_size)
+        self.block_source = block_source
+        self._on_wave_ready = on_wave_ready
+        self._on_vertex_added = on_vertex_added
+        self._coin_share_provider = coin_share_provider
+        # Ablation hook (DESIGN.md): disabling weak edges breaks the BAB
+        # Validity property — the bench demonstrates it.
+        self.enable_weak_edges = enable_weak_edges
+        # Fired with the just-completed round every time ``r`` advances;
+        # consumers that need finer granularity than waves (e.g. the Aleph
+        # baseline's per-round agreements) hook this.
+        self._on_round_advance = on_round_advance
+        self._rbc: ReliableBroadcast | None = None
+        self.round = 0  # the builder's current round ``r``
+        self.buffer: list[Vertex] = []
+        self._advancing = False
+        self._signalled_rounds: set[int] = set()
+        self.created: list[Vertex] = []  # vertices this process broadcast
+
+    def attach_broadcast(self, rbc: ReliableBroadcast) -> None:
+        """Wire the reliable broadcast used for ``r_bcast`` (Line 15)."""
+        self._rbc = rbc
+
+    def start(self) -> None:
+        """Kick off the loop: genesis completes round 0, so round 1 starts."""
+        self._advance()
+
+    # ----------------------------------------------------------- deliveries
+
+    def on_r_deliver(self, payload: Payload, round_: int, source: int) -> None:
+        """Handle ``r_deliver`` (Lines 22-26): validate, buffer, re-run loop."""
+        vertex = payload
+        if not isinstance(vertex, Vertex):
+            return
+        if not self._valid(vertex, round_, source):
+            return
+        self.buffer.append(vertex)
+        self._advance()
+
+    def _valid(self, vertex: Vertex, round_: int, source: int) -> bool:
+        """The Line 25 checks plus structural sanity on the edge sets.
+
+        The claimed round/source must match what the reliable broadcast
+        authenticated — a Byzantine sender cannot impersonate a slot — and
+        the vertex needs ``2f + 1`` strong edges into the previous round.
+        """
+        if vertex.round != round_ or vertex.source != source:
+            return False
+        if vertex.round < 1 or not 0 <= vertex.source < self.config.n:
+            return False
+        if len(vertex.strong_parents) < self.config.quorum:
+            return False
+        if any(not 0 <= s < max(self.config.n, self.config.genesis_size)
+               for s in vertex.strong_parents):
+            return False
+        if any(ref.round >= vertex.round - 1 or ref.round < 0
+               for ref in vertex.weak_parents):
+            return False
+        return True
+
+    def on_blocks_available(self) -> None:
+        """Unblock the Line 17 ``wait until`` after an ``a_bcast`` enqueue."""
+        self._advance()
+
+    # ------------------------------------------------------------- the loop
+
+    def _advance(self) -> None:
+        if self._advancing:  # deliveries during r_bcast re-enter; flatten
+            return
+        self._advancing = True
+        try:
+            progressed = True
+            while progressed:
+                progressed = self._drain_buffer()
+                if self._try_advance_round():
+                    progressed = True
+        finally:
+            self._advancing = False
+
+    def _drain_buffer(self) -> bool:
+        """Lines 6-9: move buffered vertices whose parents are present."""
+        progressed = False
+        moved = True
+        while moved:
+            moved = False
+            for vertex in list(self.buffer):
+                if vertex.round < self.store.collected_floor:
+                    # Arrived after its round was garbage-collected; under
+                    # GC semantics (Narwhal-style) such stragglers are
+                    # dropped — their transactions need re-proposing.
+                    self.buffer.remove(vertex)
+                    continue
+                if vertex.round > self.round:
+                    continue
+                if not self.store.can_add(vertex):
+                    continue
+                if self.store.contains(vertex.ref):
+                    self.buffer.remove(vertex)  # equivocation-shadowed slot
+                    continue
+                self.store.add(vertex)
+                self.buffer.remove(vertex)
+                moved = True
+                progressed = True
+                if self._on_vertex_added is not None:
+                    self._on_vertex_added(vertex)
+        return progressed
+
+    def _try_advance_round(self) -> bool:
+        """Lines 10-15: advance when the current round has ``2f + 1`` vertices."""
+        if self.store.round_size(self.round) < self._round_quorum(self.round):
+            return False
+        if (
+            self.round % self.config.wave_length == 0
+            and self.round > 0
+            and self.round not in self._signalled_rounds
+        ):
+            self._signalled_rounds.add(self.round)
+            self._on_wave_ready(self.round // self.config.wave_length)
+        block = self.block_source.dequeue()
+        if block is None:
+            return False  # Line 17's ``wait until`` — resumed by a_bcast
+        if self._on_round_advance is not None:
+            self._on_round_advance(self.round)
+        self.round += 1
+        vertex = self._create_vertex(self.round, block)
+        self.created.append(vertex)
+        if self._rbc is None:
+            raise RuntimeError("DagBuilder used before attach_broadcast")
+        self._rbc.r_bcast(vertex, self.round)
+        return True
+
+    def _round_quorum(self, round_: int) -> int:
+        if round_ == 0:
+            return self.config.genesis_size  # genesis is hardcoded complete
+        return self.config.quorum
+
+    def _create_vertex(self, round_: int, block) -> Vertex:
+        """Lines 16-21 + 27-31: strong edges to all of round-1, weak to orphans."""
+        strong = frozenset(self.store.round(round_ - 1))
+        share = None
+        if self._coin_share_provider is not None:
+            share = self._coin_share_provider(round_)
+        probe = Vertex(round_, self.pid, block, strong, frozenset(), share)
+        if not self.enable_weak_edges:
+            return probe
+        reach = self.store.reach_mask(probe)
+        weak: set[Ref] = set()
+        scan_floor = max(0, self.store.collected_floor - 1)
+        # Line 29: round-2 down to 1 (or down to the GC floor when enabled).
+        for r in range(round_ - 2, scan_floor, -1):
+            for vertex in self.store.round(r).values():
+                bit = self.store.bit_of(vertex.ref)
+                if reach >> bit & 1:
+                    continue
+                weak.add(vertex.ref)
+                reach |= self.store.closed_mask(vertex.ref)
+        if not weak:
+            return probe
+        return Vertex(round_, self.pid, block, strong, frozenset(weak), share)

@@ -1,0 +1,21 @@
+"""Real-socket runtime: run unmodified DAG-Rider nodes over TCP.
+
+The simulator (:mod:`repro.sim`) is the measurement substrate — it owns the
+adversary, the wire-size accounting, and determinism. This package is the
+deployment substrate: the same :class:`repro.core.node.DagRiderNode` code
+runs over asyncio TCP sockets on localhost, demonstrating that nothing in
+the protocol logic depends on the simulator.
+
+* :mod:`repro.runtime.transport` — a TCP network presenting the same duck
+  interface as :class:`repro.sim.network.Network` (``register`` / ``send`` /
+  ``broadcast`` / ``scheduler.now`` / ``scheduler.call_later``), framing
+  every message with the canonical binary codec of :mod:`repro.codec`
+  (no pickle on the wire).
+* :mod:`repro.runtime.cluster` — helpers to boot an n-node cluster on
+  localhost ports inside one asyncio loop and await delivery predicates.
+"""
+
+from repro.runtime.cluster import LocalCluster
+from repro.runtime.transport import AsyncScheduler, TcpNetwork
+
+__all__ = ["AsyncScheduler", "LocalCluster", "TcpNetwork"]

@@ -1,0 +1,177 @@
+"""Asyncio TCP transport with the simulator network's duck interface.
+
+One :class:`TcpNetwork` per node: it binds the node's listening socket,
+dials peers lazily, frames messages as ``4-byte length || canonical codec``
+(:mod:`repro.codec` — no pickle on the wire), and authenticates the sender
+with a one-byte-pid handshake (adequate for a localhost demo; a deployment
+would wrap the stream in TLS/noise).
+
+The pieces :class:`repro.core.node.DagRiderNode` actually touches are kept
+signature-compatible with :class:`repro.sim.network.Network`:
+
+* ``network.config`` / ``network.register(process)``
+* ``network.send(src, dst, message)`` / ``network.broadcast(src, message)``
+* ``network.scheduler.now`` / ``network.scheduler.call_later(delay, cb)``
+* ``network.metrics`` (same §3 bit accounting, fed by ``wire_size``)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import TYPE_CHECKING
+
+from repro.codec import decode_message, encode_message
+from repro.common.config import SystemConfig
+from repro.sim.metrics import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Process
+    from repro.sim.wire import Message
+
+_HEADER = struct.Struct(">I")
+
+
+class AsyncScheduler:
+    """Adapter exposing the simulator scheduler's surface over asyncio."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._epoch = loop.time()
+        self._handles: dict[int, asyncio.TimerHandle] = {}
+        self._next = 0
+
+    @property
+    def now(self) -> float:
+        """Seconds since this scheduler was created."""
+        return self._loop.time() - self._epoch
+
+    def call_later(self, delay: float, callback) -> int:
+        handle_id = self._next
+        self._next += 1
+        self._handles[handle_id] = self._loop.call_later(
+            delay, lambda: (self._handles.pop(handle_id, None), callback())
+        )
+        return handle_id
+
+    def cancel(self, handle_id: int) -> None:
+        handle = self._handles.pop(handle_id, None)
+        if handle is not None:
+            handle.cancel()
+
+
+class TcpNetwork:
+    """One node's view of the cluster over TCP."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        pid: int,
+        peers: dict[int, tuple[str, int]],
+        loop: asyncio.AbstractEventLoop | None = None,
+    ):
+        self.config = config
+        self.pid = pid
+        self.peers = peers
+        loop = loop or asyncio.get_event_loop()
+        self.scheduler = AsyncScheduler(loop)
+        self.metrics = MetricsCollector()
+        self._loop = loop
+        self._process: "Process | None" = None
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._dial_locks: dict[int, asyncio.Lock] = {}
+        self._closed = False
+
+    # ------------------------------------------------------- node interface
+
+    def register(self, process: "Process") -> None:
+        if self._process is not None:
+            raise RuntimeError("TcpNetwork hosts exactly one process")
+        if process.pid != self.pid:
+            raise RuntimeError(f"process {process.pid} on network for {self.pid}")
+        self._process = process
+
+    def is_correct(self, pid: int) -> bool:
+        return self.config.is_correct(pid)
+
+    def send(self, src: int, dst: int, message: "Message") -> None:
+        if src != self.pid:
+            raise RuntimeError("a node may only send as itself")
+        if dst == self.pid:
+            self._loop.call_soon(self._deliver, src, message)
+            return
+        self.metrics.record_send(
+            src, message.wire_size(self.config.n), message.tag(), True
+        )
+        self._loop.create_task(self._send_async(dst, message))
+
+    def broadcast(self, src: int, message: "Message") -> None:
+        for dst in self.config.processes:
+            self.send(src, dst, message)
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Bind this node's listening socket."""
+        host, port = self.peers[self.pid]
+        self._server = await asyncio.start_server(self._accept, host, port)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in self._writers.values():
+            writer.close()
+
+    # ------------------------------------------------------------- plumbing
+
+    async def _send_async(self, dst: int, message: "Message") -> None:
+        try:
+            writer = await self._writer_for(dst)
+            payload = encode_message(message)
+            writer.write(_HEADER.pack(len(payload)) + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            self._writers.pop(dst, None)  # peer down; BAB tolerates loss of f
+
+    async def _writer_for(self, dst: int) -> asyncio.StreamWriter:
+        writer = self._writers.get(dst)
+        if writer is not None and not writer.is_closing():
+            return writer
+        lock = self._dial_locks.setdefault(dst, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(dst)
+            if writer is not None and not writer.is_closing():
+                return writer
+            host, port = self.peers[dst]
+            _reader, writer = await asyncio.open_connection(host, port)
+            writer.write(bytes([self.pid]))  # sender handshake
+            await writer.drain()
+            self._writers[dst] = writer
+            return writer
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            src = (await reader.readexactly(1))[0]
+            while not self._closed:
+                (length,) = _HEADER.unpack(await reader.readexactly(_HEADER.size))
+                payload = await reader.readexactly(length)
+                message = decode_message(payload)
+                self._deliver(src, message)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+            ConnectionError,
+            OSError,
+        ):
+            pass
+        finally:
+            writer.close()
+
+    def _deliver(self, src: int, message: "Message") -> None:
+        if self._process is not None:
+            self._process.on_message(src, message)

@@ -1,0 +1,194 @@
+"""Adversarial control over message scheduling.
+
+The model (paper §2) lets an adaptive adversary control arrival times of all
+messages and drop undelivered messages previously sent by corrupted
+processes. Links between correct processes stay reliable: every such message
+must eventually arrive, so every strategy here returns a *finite* delay for
+correct-to-correct traffic; :class:`repro.sim.network.Network` enforces that
+drops only apply to corrupted senders.
+
+Strategies included:
+
+* :class:`UniformDelay` — benign asynchrony, i.i.d. uniform delays.
+* :class:`FixedDelay` — lock-step-like schedule, useful for unit tests.
+* :class:`SlowProcessDelay` — one correct process's messages arrive late
+  (drives the Figure 1 weak-edge scenario and the fairness bench).
+* :class:`PartitionDelay` — two groups see each other only after a heal time.
+* :class:`LeaderSuppressionAdversary` — a *coin-predicting* adversary: it
+  queries the coin oracle ahead of time (modelling a computationally
+  unbounded attacker against whom unpredictability fails) and delays the
+  elected leader's vertex broadcasts for the wave. DAG-Rider must stay safe
+  (post-quantum safety column of Table 1) though commits slow down.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from repro.common.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.wire import Message
+
+
+class Adversary(ABC):
+    """Chooses per-message delays (and drops for corrupted senders)."""
+
+    @abstractmethod
+    def delay(self, src: int, dst: int, message: "Message", now: float) -> float:
+        """Return the network delay for this message; must be finite and >= 0."""
+
+    def should_drop(self, src: int, dst: int, message: "Message", now: float) -> bool:
+        """Return True to drop the message. Honoured only for corrupted ``src``."""
+        return False
+
+
+class UniformDelay(Adversary):
+    """I.i.d. uniform delays in ``[low, high]`` — benign asynchrony."""
+
+    def __init__(self, rng: random.Random, low: float = 0.1, high: float = 1.0):
+        if not 0 <= low <= high:
+            raise ValueError(f"invalid delay range [{low}, {high}]")
+        self._rng = rng
+        self._low = low
+        self._high = high
+
+    def delay(self, src: int, dst: int, message: "Message", now: float) -> float:
+        return self._rng.uniform(self._low, self._high)
+
+
+class FixedDelay(Adversary):
+    """Every message takes exactly ``value`` time — deterministic lock-step."""
+
+    def __init__(self, value: float = 1.0):
+        if value < 0:
+            raise ValueError(f"negative delay {value}")
+        self._value = value
+
+    def delay(self, src: int, dst: int, message: "Message", now: float) -> float:
+        return self._value
+
+
+class SlowProcessDelay(Adversary):
+    """Messages from ``slow`` processes get an extra ``penalty`` delay.
+
+    Wraps a base strategy for all other traffic. This models the paper's
+    motivation for weak edges: a correct-but-slow process whose vertices
+    always arrive after everyone else advanced rounds.
+    """
+
+    def __init__(
+        self,
+        base: Adversary,
+        slow: set[int],
+        penalty: float = 10.0,
+    ):
+        self._base = base
+        self._slow = set(slow)
+        self._penalty = penalty
+
+    def delay(self, src: int, dst: int, message: "Message", now: float) -> float:
+        extra = self._penalty if src in self._slow else 0.0
+        return self._base.delay(src, dst, message, now) + extra
+
+
+class PartitionDelay(Adversary):
+    """Cross-partition messages are held until ``heal_time``.
+
+    Messages inside a group use the base strategy; messages crossing between
+    ``group_a`` and its complement are delivered no earlier than
+    ``heal_time`` (links stay reliable, so this is a delay, not a drop).
+    """
+
+    def __init__(self, base: Adversary, group_a: set[int], heal_time: float):
+        self._base = base
+        self._group_a = set(group_a)
+        self._heal_time = heal_time
+
+    def delay(self, src: int, dst: int, message: "Message", now: float) -> float:
+        base = self._base.delay(src, dst, message, now)
+        if (src in self._group_a) != (dst in self._group_a):
+            return max(base, self._heal_time - now + base)
+        return base
+
+
+class GroupVictimDelay(Adversary):
+    """Delays ``f`` victim processes' messages per protocol *group*.
+
+    ``group_of(message)`` maps a message to its group (an SMR slot, a
+    DAG-Rider wave, ...); for each group the adversary picks ``victims``
+    processes (derived from ``seed``) and delays everything they send within
+    that group by ``penalty``. This is the classic worst-case schedule
+    behind the O(log n) SMR bound: each single-shot instance fails its view
+    with constant probability (leader among the victims), so finishing n
+    sequential instances waits for the max of n geometrics.
+    """
+
+    def __init__(
+        self,
+        base: Adversary,
+        n: int,
+        victims: int,
+        seed: int,
+        group_of: Callable[["Message"], object | None],
+        penalty: float = 10.0,
+    ):
+        self._base = base
+        self._n = n
+        self._victims = victims
+        self._seed = seed
+        self._group_of = group_of
+        self._penalty = penalty
+
+    def victims_of(self, group: object) -> set[int]:
+        """The victim set for ``group`` (deterministic in the seed)."""
+        rng = derive_rng(self._seed, "victims", group)
+        return set(rng.sample(range(self._n), self._victims))
+
+    def delay(self, src: int, dst: int, message: "Message", now: float) -> float:
+        base = self._base.delay(src, dst, message, now)
+        group = self._group_of(message)
+        if group is None:
+            return base
+        if src in self.victims_of(group):
+            return base + self._penalty
+        return base
+
+
+class LeaderSuppressionAdversary(Adversary):
+    """Predicts each wave's coin and delays the leader-elect's broadcasts.
+
+    ``leader_oracle(wave)`` must return the process the coin will elect for
+    ``wave`` — i.e. this adversary *breaks unpredictability*, modelling a
+    computationally unbounded attacker. ``wave_of(message)`` extracts the
+    wave a message belongs to (or None for non-vertex traffic).
+
+    DAG-Rider relies on unpredictability only for liveness, so under this
+    adversary safety must hold while commit latency grows — the Table 1
+    post-quantum-safety bench asserts exactly that.
+    """
+
+    def __init__(
+        self,
+        base: Adversary,
+        leader_oracle: Callable[[int], int],
+        wave_of: Callable[["Message"], int | None],
+        penalty: float = 25.0,
+        max_wave: int | None = None,
+    ):
+        self._base = base
+        self._leader_oracle = leader_oracle
+        self._wave_of = wave_of
+        self._penalty = penalty
+        self._max_wave = max_wave
+
+    def delay(self, src: int, dst: int, message: "Message", now: float) -> float:
+        base = self._base.delay(src, dst, message, now)
+        wave = self._wave_of(message)
+        if wave is None or (self._max_wave is not None and wave > self._max_wave):
+            return base
+        if self._leader_oracle(wave) == src:
+            return base + self._penalty
+        return base

@@ -1,0 +1,147 @@
+"""Simulated asynchronous network with reliable authenticated links.
+
+Matches the model of paper §2:
+
+* the link between every two *correct* processes is reliable — the network
+  refuses to drop such messages even if the adversary asks;
+* the recipient learns the authentic sender identity (``src`` is attached by
+  the network, not by the message payload);
+* the adversary controls all delivery times;
+* once a process is corrupted, the adversary may drop its still-undelivered
+  messages (:meth:`Network.corrupt` re-checks queued traffic).
+
+Self-addressed messages are delivered immediately and cost zero bits — they
+never cross the wire.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ProtocolError
+from repro.sim.adversary import Adversary
+from repro.sim.metrics import MetricsCollector
+from repro.sim.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Process
+    from repro.sim.wire import Message
+
+
+@dataclass
+class _InFlight:
+    src: int
+    dst: int
+    message: "Message"
+    handle: int
+
+
+class Network:
+    """Routes messages between registered processes under adversary control."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        config: SystemConfig,
+        adversary: Adversary,
+        metrics: MetricsCollector | None = None,
+    ):
+        self.scheduler = scheduler
+        self.config = config
+        self.adversary = adversary
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self._processes: dict[int, "Process"] = {}
+        self._corrupted: set[int] = set(config.byzantine)
+        self._in_flight: dict[int, _InFlight] = {}
+        self._next_flight = 0
+
+    def register(self, process: "Process") -> None:
+        """Attach a process; its pid must be unique and in range."""
+        pid = process.pid
+        if not 0 <= pid < self.config.n:
+            raise ProtocolError(f"pid {pid} out of range for n={self.config.n}")
+        if pid in self._processes:
+            raise ProtocolError(f"pid {pid} registered twice")
+        self._processes[pid] = process
+
+    @property
+    def corrupted(self) -> frozenset[int]:
+        """Processes currently controlled by the adversary."""
+        return frozenset(self._corrupted)
+
+    def corrupt(self, pid: int) -> None:
+        """Adaptively corrupt ``pid`` and drop its queued messages on request.
+
+        Models the §2 adaptive adversary: corruption happens mid-run, after
+        which the adversary may drop this sender's undelivered traffic.
+        """
+        if len(self._corrupted | {pid}) > self.config.f:
+            raise ProtocolError(
+                f"corrupting {pid} would exceed f={self.config.f} faults"
+            )
+        self._corrupted.add(pid)
+        for flight_id, flight in list(self._in_flight.items()):
+            if flight.src != pid:
+                continue
+            if self.adversary.should_drop(
+                flight.src, flight.dst, flight.message, self.scheduler.now
+            ):
+                self.scheduler.cancel(flight.handle)
+                del self._in_flight[flight_id]
+
+    def is_correct(self, pid: int) -> bool:
+        """True when ``pid`` has not been corrupted."""
+        return pid not in self._corrupted
+
+    def send(self, src: int, dst: int, message: "Message") -> None:
+        """Send ``message`` from ``src`` to ``dst`` (delivery is asynchronous)."""
+        if dst not in self._processes:
+            raise ProtocolError(f"unknown destination {dst}")
+        if src == dst:
+            # Local hand-off: no wire cost, immediate delivery, but still via
+            # the scheduler so handlers never reenter each other.
+            self.scheduler.call_later(0.0, lambda: self._deliver(src, dst, message))
+            return
+
+        bits = message.wire_size(self.config.n)
+        self.metrics.record_send(src, bits, message.tag(), self.is_correct(src))
+
+        now = self.scheduler.now
+        if self.adversary.should_drop(src, dst, message, now):
+            if self.is_correct(src):
+                raise ProtocolError(
+                    "adversary attempted to drop a correct process's message"
+                )
+            return
+
+        delay = self.adversary.delay(src, dst, message, now)
+        if not (delay >= 0 and math.isfinite(delay)):
+            raise ProtocolError(f"adversary returned invalid delay {delay}")
+        correct_pair = self.is_correct(src) and self.is_correct(dst)
+        self.metrics.record_delay(delay, correct_pair)
+
+        flight_id = self._next_flight
+        self._next_flight += 1
+        handle = self.scheduler.call_later(
+            delay, lambda: self._complete(flight_id)
+        )
+        self._in_flight[flight_id] = _InFlight(src, dst, message, handle)
+
+    def broadcast(self, src: int, message: "Message") -> None:
+        """Send ``message`` from ``src`` to every process, including itself."""
+        for dst in self.config.processes:
+            self.send(src, dst, message)
+
+    def _complete(self, flight_id: int) -> None:
+        flight = self._in_flight.pop(flight_id, None)
+        if flight is None:  # dropped while in flight
+            return
+        self._deliver(flight.src, flight.dst, flight.message)
+
+    def _deliver(self, src: int, dst: int, message: "Message") -> None:
+        process = self._processes.get(dst)
+        if process is not None:
+            process.on_message(src, message)

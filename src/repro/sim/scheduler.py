@@ -1,0 +1,120 @@
+"""Deterministic discrete-event scheduler.
+
+Events are ordered by ``(time, sequence_number)``; the sequence number makes
+simultaneous events fire in submission order, which keeps runs bit-for-bit
+reproducible for a fixed seed. Asynchrony in the paper's sense comes from the
+adversary choosing arbitrary (finite) message delays, not from real-time
+nondeterminism.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class Scheduler:
+    """A minimal, deterministic event loop.
+
+    Example:
+        >>> sched = Scheduler()
+        >>> fired = []
+        >>> _ = sched.call_at(2.0, lambda: fired.append("late"))
+        >>> _ = sched.call_at(1.0, lambda: fired.append("early"))
+        >>> sched.run()
+        >>> fired
+        ['early', 'late']
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+        self._cancelled: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue) - len(self._cancelled)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` at absolute time ``when``; return a handle."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        handle = next(self._counter)
+        heapq.heappush(self._queue, (when, handle, callback))
+        return handle
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` ``delay`` time units from now; return a handle."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously scheduled event (no-op if already fired)."""
+        self._cancelled.add(handle)
+
+    def step(self) -> bool:
+        """Run the earliest pending event. Return False when none remain."""
+        while self._queue:
+            when, handle, callback = heapq.heappop(self._queue)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self._now = when
+            self._events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run events until the queue drains or a bound is hit.
+
+        Args:
+            until: Stop before executing any event later than this time.
+            max_events: Stop after executing this many further events.
+            stop_when: Checked after every event; True stops the run.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            next_time = self._peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            if not self.step():
+                return
+            executed += 1
+            if stop_when is not None and stop_when():
+                return
+
+    def _peek_time(self) -> float | None:
+        while self._queue:
+            when, handle, _ = self._queue[0]
+            if handle in self._cancelled:
+                heapq.heappop(self._queue)
+                self._cancelled.discard(handle)
+                continue
+            return when
+        return None

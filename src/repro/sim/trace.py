@@ -1,0 +1,62 @@
+"""Structured protocol-event tracing.
+
+A :class:`Tracer` collects timestamped protocol events (vertex additions,
+wave signals, commits, deliveries) from any node that is handed one. Tests
+use traces to assert cross-event orderings (every delivery follows a
+commit, commits follow their wave signal, ...) and the CLI uses them for
+verbose run inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol event at one process."""
+
+    time: float
+    pid: int
+    kind: str
+    detail: dict = field(default_factory=dict, compare=False)
+
+
+class Tracer:
+    """Append-only event log shared by any number of nodes."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, pid: int, kind: str, **detail) -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(time, pid, kind, detail))
+
+    def of_kind(self, kind: str, pid: int | None = None) -> list[TraceEvent]:
+        """Events of one kind, optionally restricted to one process."""
+        return [
+            event
+            for event in self.events
+            if event.kind == kind and (pid is None or event.pid == pid)
+        ]
+
+    def kinds(self) -> set[str]:
+        """All event kinds seen."""
+        return {event.kind for event in self.events}
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def format(self, limit: int | None = None) -> str:
+        """Human-readable rendering (earliest first)."""
+        lines = []
+        for event in self.events[:limit]:
+            detail = " ".join(f"{k}={v}" for k, v in event.detail.items())
+            lines.append(f"t={event.time:8.2f} p{event.pid} {event.kind:<14} {detail}")
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Wire-size model for communication-complexity accounting.
+
+Paper §3: *"We measure communication complexity as the total number of bits
+sent by honest processes to order a single transaction."* Every simulated
+message therefore reports its size in bits through :meth:`Message.wire_size`.
+
+The size model follows §6.2 of the paper:
+
+* a vertex reference is ``(source, round)`` — ``log2(n)`` bits plus a
+  constant-size round number (the paper assumes rounds fit in 128 bits; we
+  charge 64, which only shifts constants, not asymptotics);
+* digests/hashes are 256 bits, threshold-coin shares 128 bits;
+* a transaction is a configurable constant (default 512 bits ≈ a small
+  payment), and a block of ``b`` transactions costs ``b`` times that.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+#: Bits charged for a round number (constant per paper §6.2).
+BITS_PER_ROUND = 64
+
+#: Bits charged for a cryptographic digest (SHA-256).
+BITS_PER_DIGEST = 256
+
+#: Bits charged for one threshold-coin share (a GF(p) element, 128-bit p).
+BITS_PER_SHARE = 128
+
+#: Bits charged for a message type tag.
+BITS_PER_TAG = 8
+
+#: Default bits per transaction payload.
+BITS_PER_TRANSACTION = 512
+
+
+def bits_for_process_id(n: int) -> int:
+    """Bits needed to name one of ``n`` processes (``ceil(log2 n)``, min 1)."""
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+class Message(ABC):
+    """Base class for everything sent through :class:`repro.sim.network.Network`.
+
+    Subclasses are plain dataclasses; the only contract is an accurate
+    :meth:`wire_size` so the metrics layer can do §3-style accounting.
+    """
+
+    @abstractmethod
+    def wire_size(self, n: int) -> int:
+        """Return the size of this message in bits for an ``n``-process system."""
+
+    def tag(self) -> str:
+        """Short label used by metrics breakdowns; defaults to the class name."""
+        return type(self).__name__

@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.harness import DagRiderDeployment
+
+
+@pytest.fixture
+def config4() -> SystemConfig:
+    """The paper's running example: n = 4, f = 1."""
+    return SystemConfig(n=4, seed=1234)
+
+
+@pytest.fixture
+def config7() -> SystemConfig:
+    """n = 7, f = 2."""
+    return SystemConfig(n=7, seed=1234)
+
+
+def make_deployment(n: int = 4, seed: int = 0, **kwargs) -> DagRiderDeployment:
+    """Convenience deployment builder used across integration tests."""
+    config = kwargs.pop("config", None) or SystemConfig(
+        n=n, seed=seed, byzantine=kwargs.pop("byzantine", frozenset())
+    )
+    return DagRiderDeployment(config, **kwargs)

@@ -1,0 +1,121 @@
+"""The four BAB properties (paper Definition 3.1) on full deployments."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.core.harness import DagRiderDeployment
+from repro.sim.adversary import FixedDelay, PartitionDelay, SlowProcessDelay, UniformDelay
+
+
+def deployment(n=4, seed=0, adversary=None, **kwargs):
+    config = SystemConfig(n=n, seed=seed)
+    return DagRiderDeployment(config, adversary=adversary, **kwargs)
+
+
+class TestTotalOrder:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_schedules(self, seed):
+        dep = deployment(seed=seed)
+        assert dep.run_until_ordered(30)
+        dep.check_total_order()
+        dep.check_integrity()
+
+    def test_larger_system(self):
+        dep = deployment(n=7, seed=3)
+        assert dep.run_until_ordered(30)
+        dep.check_total_order()
+
+    def test_lockstep_schedule(self):
+        dep = deployment(seed=4, adversary=FixedDelay(1.0))
+        assert dep.run_until_ordered(30)
+        dep.check_total_order()
+
+    def test_identical_blocks_across_nodes(self):
+        """Beyond slots: the *contents* delivered must match, not just keys."""
+        dep = deployment(seed=5)
+        assert dep.run_until_ordered(25)
+        shortest = min(len(node.ordered) for node in dep.correct_nodes)
+        reference = [
+            entry.block.digest for entry in dep.correct_nodes[0].ordered[:shortest]
+        ]
+        for node in dep.correct_nodes[1:]:
+            assert [e.block.digest for e in node.ordered[:shortest]] == reference
+
+
+class TestValidity:
+    def test_all_correct_proposals_eventually_ordered(self):
+        dep = deployment(seed=6)
+        assert dep.run_until_ordered(60)
+        for node in dep.correct_nodes:
+            sources = {entry.source for entry in node.ordered}
+            assert sources == {0, 1, 2, 3}
+
+    def test_slow_process_proposals_included(self):
+        """The weak-edge mechanism: a slow process is never censored."""
+        seed = 7
+        adversary = SlowProcessDelay(
+            UniformDelay(derive_rng(seed, "d"), 0.1, 1.0), slow={3}, penalty=6.0
+        )
+        dep = deployment(seed=seed, adversary=adversary)
+        assert dep.run_until_ordered(80, max_events=600_000)
+        for node in dep.correct_nodes:
+            from_slow = [e for e in node.ordered if e.source == 3]
+            assert from_slow, "slow process censored despite weak edges"
+
+    def test_partitioned_then_healed(self):
+        seed = 8
+        adversary = PartitionDelay(
+            UniformDelay(derive_rng(seed, "d"), 0.1, 1.0),
+            group_a={0, 1},
+            heal_time=30.0,
+        )
+        dep = deployment(seed=seed, adversary=adversary)
+        assert dep.run_until_ordered(40, max_events=600_000)
+        dep.check_total_order()
+
+
+class TestAgreementConvergence:
+    def test_all_nodes_reach_same_decided_wave_eventually(self):
+        dep = deployment(seed=9)
+        assert dep.run_until_wave(4)
+        dep.check_total_order()
+        # After quiescing the rest of the run, logs converge further.
+        dep.run(max_events=100_000)
+        lengths = {len(node.ordered) for node in dep.correct_nodes}
+        dep.check_total_order()
+        assert max(lengths) - min(lengths) <= 2 * len(dep.correct_nodes) * 4
+
+    def test_a_bcast_explicit_block_is_delivered(self):
+        dep = deployment(seed=10)
+        node = dep.correct_nodes[0]
+        block = node.a_bcast(b"explicit-payment")
+        assert dep.run_until_ordered(40)
+        for peer in dep.correct_nodes:
+            digests = {entry.block.digest for entry in peer.ordered}
+            assert block.digest in digests
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution(self):
+        logs = []
+        for _ in range(2):
+            dep = deployment(seed=11)
+            assert dep.run_until_ordered(20)
+            logs.append(
+                [
+                    (e.round, e.source, e.block.digest)
+                    for e in dep.correct_nodes[0].ordered
+                ]
+            )
+        assert logs[0] == logs[1]
+
+    def test_different_seeds_differ(self):
+        digests = set()
+        for seed in (12, 13):
+            dep = deployment(seed=seed)
+            assert dep.run_until_ordered(10)
+            digests.add(
+                tuple(e.block.digest for e in dep.correct_nodes[0].ordered[:10])
+            )
+        assert len(digests) == 2

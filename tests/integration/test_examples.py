@@ -1,0 +1,41 @@
+"""Smoke tests: the shipped examples must keep running end-to-end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "explicit block delivered: True" in out
+        assert "src/round" in out  # the DAG rendering
+
+    def test_byzantine_replication(self, capsys):
+        out = run_example("byzantine_replication.py", capsys)
+        assert "all replica states identical: True" in out
+        assert "violations of the (f+1)/(2f+1) bound: 0" in out
+
+    def test_tcp_cluster(self, capsys):
+        out = run_example("tcp_cluster.py", capsys)
+        assert "target reached: True" in out
+        assert "total order across all four nodes: OK" in out
+
+    @pytest.mark.slow
+    def test_asynchrony_stress(self, capsys):
+        out = run_example("asynchrony_stress.py", capsys)
+        assert out.count("total_order=OK") == 3
+
+    @pytest.mark.slow
+    def test_broadcast_tradeoffs(self, capsys):
+        out = run_example("broadcast_tradeoffs.py", capsys)
+        assert "bits per ordered transaction" in out

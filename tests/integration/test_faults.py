@@ -1,0 +1,114 @@
+"""Fault injection: crash, silent/withholding, equivocation, adaptive corruption."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.faulty import CrashNode, EquivocatingNode, SilentNode
+from repro.core.harness import DagRiderDeployment
+
+
+def faulty_deployment(factory, n=4, seed=0, byzantine=frozenset({3}), **node_kw):
+    config = SystemConfig(n=n, seed=seed, byzantine=byzantine)
+    return DagRiderDeployment(
+        config,
+        node_factories={pid: factory for pid in byzantine},
+        node_kwargs={pid: node_kw for pid in byzantine},
+    )
+
+
+class TestCrashFaults:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_progress_with_one_crash(self, seed):
+        dep = faulty_deployment(CrashNode, seed=seed, crash_round=3)
+        assert dep.run_until_ordered(30, max_events=600_000)
+        dep.check_total_order()
+        dep.check_integrity()
+
+    def test_crash_at_start(self):
+        dep = faulty_deployment(CrashNode, seed=5, crash_round=0)
+        assert dep.run_until_ordered(30, max_events=600_000)
+        dep.check_total_order()
+
+    def test_two_crashes_in_n7(self):
+        config = SystemConfig(n=7, seed=6, byzantine=frozenset({5, 6}))
+        dep = DagRiderDeployment(
+            config,
+            node_factories={5: CrashNode, 6: CrashNode},
+            node_kwargs={5: {"crash_round": 2}, 6: {"crash_round": 4}},
+        )
+        assert dep.run_until_ordered(25, max_events=900_000)
+        dep.check_total_order()
+
+    def test_crashed_process_eventually_excluded_but_early_vertices_ordered(self):
+        dep = faulty_deployment(CrashNode, seed=7, crash_round=5)
+        assert dep.run_until_ordered(60, max_events=900_000)
+        node = dep.correct_nodes[0]
+        rounds_from_crashed = [e.round for e in node.ordered if e.source == 3]
+        if rounds_from_crashed:
+            assert max(rounds_from_crashed) <= 6
+
+
+class TestWithholding:
+    def test_silent_process_does_not_block(self):
+        dep = faulty_deployment(SilentNode, seed=8)
+        assert dep.run_until_ordered(30, max_events=600_000)
+        dep.check_total_order()
+        # The silent process never proposed, so nothing from it is ordered.
+        for node in dep.correct_nodes:
+            assert all(entry.source != 3 for entry in node.ordered)
+
+    def test_silent_plus_slow_network(self):
+        from repro.common.rng import derive_rng
+        from repro.sim.adversary import SlowProcessDelay, UniformDelay
+
+        seed = 9
+        config = SystemConfig(n=4, seed=seed, byzantine=frozenset({3}))
+        adversary = SlowProcessDelay(
+            UniformDelay(derive_rng(seed, "d")), slow={2}, penalty=4.0
+        )
+        dep = DagRiderDeployment(
+            config, adversary=adversary, node_factories={3: SilentNode}
+        )
+        assert dep.run_until_ordered(40, max_events=900_000)
+        dep.check_total_order()
+        # The slow-but-correct process is still included (validity).
+        assert any(e.source == 2 for e in dep.correct_nodes[0].ordered)
+
+
+class TestEquivocation:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_conflicting_deliveries(self, seed):
+        dep = faulty_deployment(EquivocatingNode, seed=seed)
+        dep.run_until_ordered(25, max_events=600_000)
+        dep.check_total_order()
+        # For every slot of the equivocator that got ordered anywhere, all
+        # correct processes must agree on its content.
+        per_slot: dict[tuple[int, int], set[bytes]] = {}
+        for node in dep.correct_nodes:
+            for entry in node.ordered:
+                if entry.source == 3:
+                    per_slot.setdefault((entry.round, entry.source), set()).add(
+                        entry.block.digest
+                    )
+        for slot, digests in per_slot.items():
+            assert len(digests) == 1, f"equivocation succeeded at {slot}"
+
+    def test_progress_despite_equivocator(self):
+        dep = faulty_deployment(EquivocatingNode, seed=4)
+        assert dep.run_until_ordered(25, max_events=600_000)
+
+
+class TestAdaptiveCorruption:
+    def test_mid_run_corruption_preserves_safety(self):
+        config = SystemConfig(n=4, seed=11)
+        dep = DagRiderDeployment(config)
+        # Run a while, then adaptively corrupt process 2 and keep running.
+        dep.run(max_events=4_000)
+        dep.network.corrupt(2)
+        dep.run_until_ordered(30, max_events=600_000)
+        correct = [node for node in dep.correct_nodes if node.pid != 2]
+        for i, a in enumerate(correct):
+            for b in correct[i + 1 :]:
+                la = [(e.round, e.source) for e in a.ordered]
+                lb = [(e.round, e.source) for e in b.ordered]
+                assert la[: min(len(la), len(lb))] == lb[: min(len(la), len(lb))]

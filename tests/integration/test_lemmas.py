@@ -1,0 +1,131 @@
+"""Empirical checks of the paper's analytic claims (§5-§6).
+
+* Lemma 1 — if some process commits wave w's leader v, then every later
+  wave's leader (at every process) has a strong path to v.
+* Lemma 2 — the common core: a completed wave has >= 2f+1 first-round
+  vertices each strongly reachable from >= 2f+1 last-round vertices.
+* Claim 6 — the expected number of waves until the commit rule fires is
+  <= 3/2 + eps.
+* Chain quality (§3) — every (2f+1)·r prefix has >= (f+1)·r correct values.
+"""
+
+import pytest
+
+from repro.analysis.chain_quality import check_chain_quality
+from repro.common.config import SystemConfig
+from repro.common.types import round_of_wave
+from repro.core.faulty import SilentNode
+from repro.core.harness import DagRiderDeployment
+
+
+def run_deployment(n=4, seed=0, waves=5, **kwargs):
+    dep = DagRiderDeployment(SystemConfig(n=n, seed=seed), **kwargs)
+    assert dep.run_until_wave(waves, max_events=1_500_000)
+    return dep
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_committed_leaders_reachable_from_later_leaders(self, seed):
+        dep = run_deployment(seed=seed, waves=4)
+        # Collect every (wave, leader vertex) committed by any process.
+        committed: dict[int, object] = {}
+        for node in dep.correct_nodes:
+            for record in node.ordering.commits:
+                for leader in record.leader_chain:
+                    wave = (leader.round - 1) // 4 + 1
+                    committed[wave] = leader.ref
+        waves = sorted(committed)
+        for node in dep.correct_nodes:
+            coin = node.coin
+            store = node.store
+            for w in waves:
+                v = committed[w]
+                for later in range(w + 1, max(waves) + 1):
+                    leader_pid = coin.leader_of(later)
+                    if leader_pid is None:
+                        continue
+                    u = store.round(round_of_wave(later, 1)).get(leader_pid)
+                    if u is None:
+                        continue
+                    assert store.strong_path(u.ref, v), (
+                        f"Lemma 1 violated: wave-{later} leader cannot reach "
+                        f"committed wave-{w} leader at node {node.pid}"
+                    )
+
+
+class TestLemma2:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_common_core_every_completed_wave(self, seed):
+        dep = run_deployment(seed=seed, waves=4)
+        for node in dep.correct_nodes:
+            store = node.store
+            completed = node.ordering._completed_wave
+            for wave in range(1, completed + 1):
+                first = store.round(round_of_wave(wave, 1))
+                last = store.round(round_of_wave(wave, 4))
+                quorum = node.config.quorum
+                # V = first-round vertices reachable from >= 2f+1 last-round.
+                well_supported = [
+                    v
+                    for v in first.values()
+                    if sum(
+                        1
+                        for u in last.values()
+                        if store.strong_path(u.ref, v.ref)
+                    )
+                    >= quorum
+                ]
+                assert len(well_supported) >= quorum, (
+                    f"Lemma 2 violated in wave {wave} at node {node.pid}: "
+                    f"only {len(well_supported)} well-supported vertices"
+                )
+
+
+class TestClaim6:
+    def test_expected_waves_per_commit_below_bound(self):
+        """Across seeds, the mean wave gap between commits is ~3/2 or less.
+
+        The bound is on the expectation; we allow generous sampling slack.
+        """
+        gaps = []
+        for seed in range(10):
+            dep = run_deployment(seed=seed, waves=6)
+            node = dep.correct_nodes[0]
+            decided = [record.wave for record in node.ordering.commits]
+            previous = 0
+            for wave in decided:
+                gaps.append(wave - previous)
+                previous = wave
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap <= 2.0, f"mean waves per commit {mean_gap} too high"
+
+    def test_direct_commit_probability_at_least_two_thirds(self):
+        """P(wave leader commits in its own wave) >= 2/3 - eps."""
+        direct = 0
+        total = 0
+        for seed in range(10):
+            dep = run_deployment(seed=seed, waves=6)
+            node = dep.correct_nodes[0]
+            decided_waves = {record.wave for record in node.ordering.commits}
+            highest = node.ordering.decided_wave
+            total += highest
+            direct += len([w for w in decided_waves if w <= highest])
+        assert direct / total >= 0.55  # 2/3 minus sampling slack
+
+
+class TestChainQuality:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_prefix_bound_with_silent_byzantine(self, seed):
+        config = SystemConfig(n=4, seed=seed, byzantine=frozenset({3}))
+        dep = DagRiderDeployment(config, node_factories={3: SilentNode})
+        assert dep.run_until_ordered(40, max_events=900_000)
+        for node in dep.correct_nodes:
+            sources = [entry.source for entry in node.ordered]
+            assert check_chain_quality(sources, byzantine={3}, f=config.f)
+
+    def test_prefix_bound_all_correct(self):
+        dep = run_deployment(seed=20, waves=4)
+        for node in dep.correct_nodes:
+            sources = [entry.source for entry in node.ordered]
+            assert check_chain_quality(sources, byzantine=set(), f=1)

@@ -1,0 +1,35 @@
+"""The README's quickstart snippet must do exactly what it promises."""
+
+from repro import (
+    Block,
+    DagRiderDeployment,
+    DagRiderNode,
+    OrderedEntry,
+    Ref,
+    SystemConfig,
+    Vertex,
+)
+
+
+class TestReadmeQuickstart:
+    def test_snippet_verbatim(self):
+        deployment = DagRiderDeployment(SystemConfig(n=4, seed=7))
+        deployment.correct_nodes[0].a_bcast(b"pay alice 10")
+        deployment.run_until_ordered(25)
+        deployment.check_total_order()
+
+        entries = deployment.correct_nodes[0].ordered[:5]
+        assert len(entries) == 5
+        for entry in entries:
+            assert isinstance(entry, OrderedEntry)
+            assert isinstance(entry.block, Block)
+
+    def test_public_api_surface(self):
+        """Everything the README names is importable from the top level."""
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+        assert repro.__version__ == "1.0.0"
+        # The types the quickstart touches are the re-exported ones.
+        assert DagRiderNode and Vertex and Ref and SystemConfig

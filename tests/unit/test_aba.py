@@ -1,0 +1,90 @@
+"""Binary agreement over the simulated network."""
+
+import pytest
+
+from repro.baselines.aba import AbaMessage, BinaryAgreement
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.sim.adversary import UniformDelay
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+
+
+class AbaHost(Process):
+    def __init__(self, pid, network, seed):
+        super().__init__(pid, network)
+        self.decided = None
+        self.aba = BinaryAgreement(
+            pid,
+            network.config,
+            coin=lambda r: derive_rng(seed, "aba-coin", r).randrange(2),
+            broadcast=self.broadcast,
+            on_decide=self._decide,
+        )
+
+    def _decide(self, value):
+        assert self.decided is None, "double decide"
+        self.decided = value
+
+    def on_message(self, src, message):
+        if isinstance(message, AbaMessage):
+            self.aba.handle(src, message)
+
+
+def run_aba(inputs, seed=0, n=None):
+    n = n or len(inputs)
+    config = SystemConfig(n=n, seed=seed)
+    sched = Scheduler()
+    network = Network(sched, config, UniformDelay(derive_rng(seed, "d")))
+    hosts = [AbaHost(pid, network, seed) for pid in range(n)]
+    for host, value in zip(hosts, inputs):
+        if value is not None:
+            sched.call_at(0.0, lambda h=host, v=value: h.aba.propose(v))
+    sched.run(max_events=100_000)
+    return hosts
+
+
+class TestBinaryAgreement:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_validity(self, value):
+        """All-same inputs must decide that value (BV-validity)."""
+        for seed in range(5):
+            hosts = run_aba([value] * 4, seed=seed)
+            assert all(host.decided == value for host in hosts)
+
+    def test_agreement_mixed_inputs(self):
+        for seed in range(10):
+            hosts = run_aba([0, 1, 0, 1], seed=seed)
+            decisions = {host.decided for host in hosts}
+            assert len(decisions) == 1
+            assert decisions != {None}
+
+    def test_agreement_n7(self):
+        hosts = run_aba([0, 1, 1, 0, 1, 0, 1], seed=3)
+        decisions = {host.decided for host in hosts}
+        assert len(decisions) == 1 and None not in decisions
+
+    def test_terminates_with_one_silent_process(self):
+        """f = 1 silent party must not block the other 3."""
+        hosts = run_aba([1, 1, 1, None], seed=4)
+        deciders = [host for host in hosts[:3]]
+        assert all(host.decided == 1 for host in deciders)
+
+    def test_decision_is_some_input(self):
+        """Mixed inputs decide 0 or 1 — trivially an input; unanimity is
+        the binding case covered above."""
+        hosts = run_aba([1, 1, 1, 1], seed=5)
+        assert all(host.decided == 1 for host in hosts)
+
+    def test_propose_idempotent(self):
+        config = SystemConfig(n=4, seed=0)
+        sched = Scheduler()
+        network = Network(sched, config, UniformDelay(derive_rng(0, "d")))
+        hosts = [AbaHost(pid, network, 0) for pid in range(4)]
+        host = hosts[0]
+        host.aba.propose(1)
+        round_after = host.aba.round
+        host.aba.propose(0)  # ignored
+        assert host.aba.estimate == 1
+        assert host.aba.round == round_after

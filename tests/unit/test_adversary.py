@@ -1,0 +1,107 @@
+"""Adversary delay strategies."""
+
+import random
+
+import pytest
+
+from repro.sim.adversary import (
+    FixedDelay,
+    LeaderSuppressionAdversary,
+    PartitionDelay,
+    SlowProcessDelay,
+    UniformDelay,
+)
+from repro.sim.wire import Message
+
+
+class Dummy(Message):
+    def wire_size(self, n):
+        return 8
+
+
+class WaveTagged(Message):
+    def __init__(self, wave):
+        self.wave = wave
+
+    def wire_size(self, n):
+        return 8
+
+
+MSG = Dummy()
+
+
+class TestStrategies:
+    def test_uniform_in_range(self):
+        adversary = UniformDelay(random.Random(0), low=0.5, high=2.0)
+        for _ in range(100):
+            assert 0.5 <= adversary.delay(0, 1, MSG, 0.0) <= 2.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformDelay(random.Random(0), low=2.0, high=1.0)
+
+    def test_fixed(self):
+        assert FixedDelay(1.5).delay(0, 1, MSG, 0.0) == 1.5
+        with pytest.raises(ValueError):
+            FixedDelay(-1.0)
+
+    def test_slow_process_penalty_applies_to_slow_sender_only(self):
+        adversary = SlowProcessDelay(FixedDelay(1.0), slow={3}, penalty=10.0)
+        assert adversary.delay(3, 0, MSG, 0.0) == 11.0
+        assert adversary.delay(0, 3, MSG, 0.0) == 1.0
+
+    def test_partition_holds_cross_traffic_until_heal(self):
+        adversary = PartitionDelay(FixedDelay(1.0), group_a={0, 1}, heal_time=50.0)
+        # Inside a group: base delay.
+        assert adversary.delay(0, 1, MSG, 0.0) == 1.0
+        assert adversary.delay(2, 3, MSG, 0.0) == 1.0
+        # Across: arrives no earlier than heal_time (+ base).
+        assert adversary.delay(0, 2, MSG, 0.0) == 51.0
+        # After healing, cross traffic is normal again.
+        assert adversary.delay(0, 2, MSG, 100.0) == 1.0
+
+    def test_leader_suppression_targets_predicted_leader(self):
+        adversary = LeaderSuppressionAdversary(
+            FixedDelay(1.0),
+            leader_oracle=lambda wave: wave % 4,
+            wave_of=lambda msg: getattr(msg, "wave", None),
+            penalty=20.0,
+        )
+        # Wave 1's predicted leader is process 1.
+        assert adversary.delay(1, 2, WaveTagged(1), 0.0) == 21.0
+        assert adversary.delay(2, 1, WaveTagged(1), 0.0) == 1.0
+        # Untagged traffic unaffected.
+        assert adversary.delay(1, 2, MSG, 0.0) == 1.0
+
+    def test_group_victim_delay(self):
+        from repro.sim.adversary import GroupVictimDelay
+
+        adversary = GroupVictimDelay(
+            FixedDelay(1.0),
+            n=4,
+            victims=1,
+            seed=9,
+            group_of=lambda msg: getattr(msg, "wave", None),
+            penalty=10.0,
+        )
+        victims = adversary.victims_of(1)
+        assert len(victims) == 1
+        (victim,) = victims
+        assert adversary.delay(victim, 0, WaveTagged(1), 0.0) == 11.0
+        non_victim = (victim + 1) % 4
+        assert adversary.delay(non_victim, 0, WaveTagged(1), 0.0) == 1.0
+        # Ungrouped traffic unaffected; victim sets deterministic per group.
+        assert adversary.delay(victim, 0, MSG, 0.0) == 1.0
+        assert adversary.victims_of(1) == victims
+        assert any(adversary.victims_of(g) != victims for g in range(2, 20))
+
+    def test_leader_suppression_max_wave(self):
+        adversary = LeaderSuppressionAdversary(
+            FixedDelay(1.0),
+            leader_oracle=lambda wave: 0,
+            wave_of=lambda msg: getattr(msg, "wave", None),
+            penalty=20.0,
+            max_wave=2,
+        )
+        assert adversary.delay(0, 1, WaveTagged(2), 0.0) == 21.0
+        assert adversary.delay(0, 1, WaveTagged(3), 0.0) == 1.0

@@ -1,0 +1,145 @@
+"""Analysis utilities: chain quality, scaling fits, stats, rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.chain_quality import chain_quality_report, check_chain_quality
+from repro.analysis.complexity import fit_exponent, select_model
+from repro.analysis.render import describe_edges, render_dag
+from repro.analysis.stats import geometric_mean_trials, percentile, summarize
+from repro.dag.store import DagStore
+from repro.dag.vertex import Ref, Vertex
+from repro.mempool.blocks import Block
+
+
+class TestChainQuality:
+    def test_all_correct_passes(self):
+        assert check_chain_quality([0, 1, 2] * 10, byzantine=set(), f=1)
+
+    def test_paper_bound_met_with_f_byzantine(self):
+        # Alternating pattern: 1 byzantine per 3 — exactly (f+1)/(2f+1) correct.
+        sources = [0, 1, 3] * 10  # 3 is byzantine
+        report = chain_quality_report(sources, byzantine={3}, f=1)
+        assert report.violations == 0
+        assert report.worst_prefix_fraction >= 2 / 3
+
+    def test_violation_detected(self):
+        sources = [3, 3, 0] * 5  # 2 byzantine per 3: below f+1 correct
+        assert not check_chain_quality(sources, byzantine={3}, f=1)
+
+    def test_report_fields(self):
+        report = chain_quality_report([0, 3, 1, 2, 3, 0], byzantine={3}, f=1)
+        assert report.total == 6
+        assert report.correct == 4
+        assert 0 < report.correct_fraction < 1
+
+    def test_empty_log(self):
+        report = chain_quality_report([], byzantine={3}, f=1)
+        assert report.violations == 0
+        assert report.correct_fraction == 1.0
+
+
+class TestComplexityFits:
+    def test_exponent_of_square(self):
+        ns = [4, 8, 16, 32]
+        assert fit_exponent(ns, [n**2 for n in ns]) == pytest.approx(2.0)
+
+    def test_exponent_of_linear_with_noise(self):
+        ns = [4, 8, 16, 32, 64]
+        ys = [3.1 * n * (1 + 0.05 * ((-1) ** i)) for i, n in enumerate(ns)]
+        assert 0.9 < fit_exponent(ns, ys) < 1.1
+
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("1", lambda n: 5.0),
+            ("log n", lambda n: 2 * math.log(n)),
+            ("n", lambda n: 3 * n),
+            ("n log n", lambda n: 0.5 * n * math.log(n)),
+            ("n^2", lambda n: 0.1 * n * n),
+            ("n^3", lambda n: 0.01 * n**3),
+        ],
+    )
+    def test_model_selection_recovers_generator(self, name, fn):
+        ns = [4, 7, 10, 13, 16, 22, 31]
+        assert select_model(ns, [fn(n) for n in ns]) == name
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_exponent([4], [5])
+        with pytest.raises(ValueError):
+            fit_exponent([4, 8], [0, 5])
+        with pytest.raises(ValueError):
+            select_model([4], [5])
+
+
+class TestStats:
+    def test_summary_basic(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3
+        assert summary.median == 3
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+
+    def test_percentile_interpolation(self):
+        assert percentile([0, 10], 0.5) == 5
+        assert percentile([1, 2, 3, 4], 0.0) == 1
+        assert percentile([1, 2, 3, 4], 1.0) == 4
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_geometric_mean_trials(self):
+        assert geometric_mean_trials([1, 2, 3]) == 2.0
+
+    def test_ci_width_shrinks(self):
+        small = summarize([1.0, 2.0, 3.0] * 3)
+        large = summarize([1.0, 2.0, 3.0] * 30)
+        assert large.ci95_half_width() < small.ci95_half_width()
+
+
+class TestRender:
+    def _store(self):
+        store = DagStore(4)
+        for source in range(3):
+            store.add(
+                Vertex(1, source, Block(source, 1), frozenset({0, 1, 2, 3}))
+            )
+        store.add(
+            Vertex(
+                2, 0, Block(0, 2), frozenset({0, 1, 2}), frozenset({Ref(3, 0)})
+            )
+        )
+        return store
+
+    def test_render_contains_vertices_and_gaps(self):
+        text = render_dag(self._store(), n=4)
+        assert "p0" in text and "p3" in text
+        assert "v4" in text  # strong edge count
+        assert "." in text  # missing slot marker
+
+    def test_render_weak_edge_marker(self):
+        text = render_dag(self._store(), n=4)
+        assert "~1" in text
+
+    def test_render_highlight(self):
+        text = render_dag(self._store(), highlight={Ref(0, 1)}, n=4)
+        assert "*" in text
+
+    def test_render_empty(self):
+        assert render_dag(DagStore(4)) == "(empty DAG)"
+
+    def test_describe_edges(self):
+        store = self._store()
+        line = describe_edges(store, Ref(0, 2))
+        assert "strong" in line and "weak" in line
+        assert describe_edges(store, Ref(9, 9)).endswith("not in this DAG")

@@ -1,0 +1,66 @@
+"""AsyncScheduler adapter (the runtime's clock surface)."""
+
+import asyncio
+
+from repro.runtime.transport import AsyncScheduler
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncScheduler:
+    def test_now_starts_near_zero_and_advances(self):
+        async def main():
+            sched = AsyncScheduler(asyncio.get_running_loop())
+            first = sched.now
+            await asyncio.sleep(0.05)
+            return first, sched.now
+
+        first, later = run(main())
+        assert first < 0.01
+        assert later >= first + 0.04
+
+    def test_call_later_fires(self):
+        async def main():
+            sched = AsyncScheduler(asyncio.get_running_loop())
+            fired = []
+            sched.call_later(0.02, lambda: fired.append(sched.now))
+            await asyncio.sleep(0.1)
+            return fired
+
+        fired = run(main())
+        assert len(fired) == 1
+        assert fired[0] >= 0.015
+
+    def test_cancel_prevents_firing(self):
+        async def main():
+            sched = AsyncScheduler(asyncio.get_running_loop())
+            fired = []
+            handle = sched.call_later(0.02, lambda: fired.append(1))
+            sched.cancel(handle)
+            await asyncio.sleep(0.06)
+            return fired
+
+        assert run(main()) == []
+
+    def test_cancel_after_fire_is_noop(self):
+        async def main():
+            sched = AsyncScheduler(asyncio.get_running_loop())
+            fired = []
+            handle = sched.call_later(0.01, lambda: fired.append(1))
+            await asyncio.sleep(0.05)
+            sched.cancel(handle)  # already fired; must not raise
+            return fired
+
+        assert run(main()) == [1]
+
+    def test_handles_unique(self):
+        async def main():
+            sched = AsyncScheduler(asyncio.get_running_loop())
+            handles = [sched.call_later(0.01, lambda: None) for _ in range(5)]
+            await asyncio.sleep(0.05)
+            return handles
+
+        handles = run(main())
+        assert len(set(handles)) == 5

@@ -1,0 +1,194 @@
+"""Single-shot baseline instances: VABA, Dumbo, HoneyBadger, dispersal."""
+
+from repro.baselines.dispersal import AvidDispersal, DispersalMessage
+from repro.baselines.dumbo import DispersalRef, DumboSlot
+from repro.baselines.honeybadger import HoneyBadgerSlot
+from repro.baselines.vaba import VabaSlot
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.mempool.blocks import Block
+from repro.sim.adversary import UniformDelay
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+
+
+class SlotHost(Process):
+    """Hosts one single-shot instance of any baseline protocol."""
+
+    def __init__(self, pid, network, factory):
+        super().__init__(pid, network)
+        self.decided = None
+        self.instance = factory(self)
+
+    def record(self, value):
+        self.decided = value
+
+    def on_message(self, src, message):
+        self.instance.handle(src, message)
+
+
+def build(factory_for, n=4, seed=0):
+    config = SystemConfig(n=n, seed=seed)
+    sched = Scheduler()
+    network = Network(sched, config, UniformDelay(derive_rng(seed, "d")))
+    hosts = [SlotHost(pid, network, factory_for) for pid in range(n)]
+    return sched, hosts, config
+
+
+def elect(seed):
+    return lambda view: derive_rng(seed, "elect", view).randrange(4)
+
+
+class TestVabaSlot:
+    def test_agreement_and_termination(self):
+        for seed in range(6):
+            sched, hosts, config = build(
+                lambda host, s=seed: VabaSlot(
+                    host.pid, host.config, elect(s), host.send, host.broadcast,
+                    on_decide=host.record,
+                ),
+                seed=seed,
+            )
+            for host in hosts:
+                value = Block(host.pid, 0, (b"v%d" % host.pid,))
+                sched.call_at(0.0, lambda h=host, v=value: h.instance.propose(v))
+            sched.run(max_events=100_000)
+            decisions = {host.decided.digest for host in hosts}
+            assert len(decisions) == 1
+
+    def test_decision_is_a_proposed_value(self):
+        sched, hosts, _config = build(
+            lambda host: VabaSlot(
+                host.pid, host.config, elect(1), host.send, host.broadcast,
+                on_decide=host.record,
+            ),
+            seed=1,
+        )
+        proposals = {}
+        for host in hosts:
+            value = Block(host.pid, 0, (b"v%d" % host.pid,))
+            proposals[host.pid] = value.digest
+            sched.call_at(0.0, lambda h=host, v=value: h.instance.propose(v))
+        sched.run(max_events=100_000)
+        assert hosts[0].decided.digest in proposals.values()
+
+    def test_views_used_expected_small(self):
+        views = []
+        for seed in range(8):
+            sched, hosts, _config = build(
+                lambda host, s=seed: VabaSlot(
+                    host.pid, host.config, elect(s), host.send, host.broadcast,
+                    on_decide=host.record,
+                ),
+                seed=seed,
+            )
+            for host in hosts:
+                value = Block(host.pid, 0, (b"x",))
+                sched.call_at(0.0, lambda h=host, v=value: h.instance.propose(v))
+            sched.run(max_events=100_000)
+            views.append(max(host.instance.views_used for host in hosts))
+        assert sum(views) / len(views) < 4  # expected constant (~3/2)
+
+
+class TestDispersal:
+    def test_disperse_retrieve_roundtrip(self):
+        sched, hosts, _config = build(
+            lambda host: AvidDispersal(
+                host.pid, host.config, host.send, host.broadcast
+            )
+        )
+        data = b"batch-payload" * 20
+        root = hosts[0].instance.disperse(data)
+        sched.run()
+        assert all(host.instance.is_complete(root) for host in hosts)
+        results = []
+        hosts[2].instance.retrieve(root, len(data), results.append)
+        sched.run()
+        assert results == [data]
+
+    def test_retrieve_before_store_parks_fetch(self):
+        sched, hosts, _config = build(
+            lambda host: AvidDispersal(
+                host.pid, host.config, host.send, host.broadcast
+            )
+        )
+        data = b"some data"
+        # Host 1 asks for a root nobody has yet; then host 0 disperses it.
+        from repro.codes.merkle import MerkleTree
+        from repro.codes.reed_solomon import rs_encode
+
+        root = MerkleTree(rs_encode(data, 2, 4)).root
+        results = []
+        hosts[1].instance.retrieve(root, len(data), results.append)
+        sched.run()
+        assert results == []
+        assert hosts[0].instance.disperse(data) == root
+        sched.run()
+        assert results == [data]
+
+    def test_retrieval_callbacks_coalesce(self):
+        sched, hosts, _config = build(
+            lambda host: AvidDispersal(
+                host.pid, host.config, host.send, host.broadcast
+            )
+        )
+        data = b"z" * 40
+        root = hosts[0].instance.disperse(data)
+        sched.run()
+        results = []
+        hosts[3].instance.retrieve(root, len(data), results.append)
+        hosts[3].instance.retrieve(root, len(data), results.append)
+        sched.run()
+        assert results == [data, data]
+        # Cached retrieval resolves synchronously.
+        hosts[3].instance.retrieve(root, len(data), results.append)
+        assert results[-1] == data
+
+
+class TestDumboSlot:
+    def test_agreement(self):
+        for seed in range(4):
+            sched, hosts, _config = build(
+                lambda host, s=seed: DumboSlot(
+                    host.pid, host.config, elect(s), host.send, host.broadcast,
+                    on_decide=host.record,
+                ),
+                seed=seed,
+            )
+            for host in hosts:
+                value = Block(host.pid, 0, (b"batch-%d" % host.pid * 10,))
+                sched.call_at(0.0, lambda h=host, v=value: h.instance.propose(v))
+            sched.run(max_events=200_000)
+            decisions = {tuple(b.digest for b in host.decided) for host in hosts}
+            assert len(decisions) == 1
+
+    def test_ref_codec_roundtrip(self):
+        ref = DispersalRef(3, b"\x07" * 32, 12345)
+        assert DispersalRef.from_bytes(ref.to_bytes()) == ref
+
+
+class TestHoneyBadgerSlot:
+    def test_agreement_and_inclusion(self):
+        for seed in range(4):
+            sched, hosts, config = build(
+                lambda host, s=seed: HoneyBadgerSlot(
+                    host.pid,
+                    host.config,
+                    coin=lambda j, r, s=s: derive_rng(s, "c", j, r).randrange(2),
+                    send=host.send,
+                    broadcast=host.broadcast,
+                    on_decide=host.record,
+                ),
+                seed=seed,
+            )
+            for host in hosts:
+                value = Block(host.pid, 0, (b"hb-%d" % host.pid,))
+                sched.call_at(0.0, lambda h=host, v=value: h.instance.propose(v))
+            sched.run(max_events=400_000)
+            decisions = {
+                tuple(b.proposer for b in host.decided) for host in hosts
+            }
+            assert len(decisions) == 1
+            (included,) = decisions
+            assert len(included) >= config.quorum  # >= n - f batches make it

@@ -1,0 +1,104 @@
+"""Block codec and the blocksToPropose queue."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import WireFormatError
+from repro.mempool.blocks import Block, BlockSource, TransactionGenerator
+
+
+class TestBlockCodec:
+    def test_roundtrip(self):
+        block = Block(2, 7, (b"tx1", b"tx2"))
+        decoded, offset = Block.from_bytes(block.to_bytes())
+        assert decoded == block
+        assert offset == len(block.to_bytes())
+
+    def test_empty_block(self):
+        block = Block(0, 0)
+        decoded, _ = Block.from_bytes(block.to_bytes())
+        assert decoded == block
+        assert len(decoded) == 0
+
+    def test_truncated_rejected(self):
+        data = Block(1, 1, (b"abcdef",)).to_bytes()
+        with pytest.raises(WireFormatError):
+            Block.from_bytes(data[:-2])
+
+    def test_offset_decoding(self):
+        a = Block(1, 1, (b"a",))
+        b = Block(2, 2, (b"bb",))
+        data = a.to_bytes() + b.to_bytes()
+        first, offset = Block.from_bytes(data)
+        second, end = Block.from_bytes(data, offset)
+        assert (first, second) == (a, b)
+        assert end == len(data)
+
+    @given(
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=2**63),
+        st.lists(st.binary(max_size=40), max_size=8),
+    )
+    def test_roundtrip_property(self, proposer, sequence, txs):
+        block = Block(proposer, sequence, tuple(txs))
+        decoded, _ = Block.from_bytes(block.to_bytes())
+        assert decoded == block
+
+    def test_digest_stable_and_distinct(self):
+        a = Block(1, 1, (b"x",))
+        assert a.digest == Block(1, 1, (b"x",)).digest
+        assert a.digest != Block(1, 1, (b"y",)).digest
+
+
+class TestTransactionGenerator:
+    def test_unique_and_sized(self):
+        gen = TransactionGenerator(seed=1, proposer=2, tx_bytes=64)
+        txs = [gen.next_transaction() for _ in range(100)]
+        assert len(set(txs)) == 100
+        assert all(len(tx) == 64 for tx in txs)
+
+    def test_deterministic(self):
+        a = TransactionGenerator(seed=1, proposer=2)
+        b = TransactionGenerator(seed=1, proposer=2)
+        assert a.next_transaction() == b.next_transaction()
+
+    def test_proposers_independent(self):
+        a = TransactionGenerator(seed=1, proposer=0)
+        b = TransactionGenerator(seed=1, proposer=1)
+        assert a.next_transaction() != b.next_transaction()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionGenerator(seed=1, proposer=0, tx_bytes=0)
+
+
+class TestBlockSource:
+    def test_explicit_blocks_first(self):
+        source = BlockSource(0, TransactionGenerator(1, 0), batch_size=2)
+        explicit = source.enqueue_transactions(b"urgent")
+        first = source.dequeue()
+        assert first == explicit
+        generated = source.dequeue()
+        assert len(generated) == 2
+
+    def test_generator_never_exhausts(self):
+        source = BlockSource(0, TransactionGenerator(1, 0))
+        assert not source.empty
+        for _ in range(50):
+            assert source.dequeue() is not None
+
+    def test_without_generator_stalls(self):
+        source = BlockSource(0)
+        assert source.empty
+        assert source.dequeue() is None
+        source.enqueue_transactions(b"tx")
+        assert not source.empty
+        assert source.dequeue() is not None
+        assert source.dequeue() is None
+
+    def test_sequences_increase(self):
+        source = BlockSource(0, TransactionGenerator(1, 0))
+        seqs = [source.dequeue().sequence for _ in range(5)]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5

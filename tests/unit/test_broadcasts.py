@@ -1,0 +1,183 @@
+"""Reliable broadcast instantiations: agreement, integrity, validity.
+
+Each protocol is run over the real simulated network with a small harness
+process that owns one broadcast endpoint per node.
+"""
+
+import pytest
+
+from repro.broadcast.avid import AvidBroadcast
+from repro.broadcast.bracha import BrachaBroadcast, BrachaMessage
+from repro.broadcast.gossip import GossipBroadcast
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.dag.vertex import Vertex
+from repro.mempool.blocks import Block
+from repro.sim.adversary import UniformDelay
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+
+
+class BroadcastHost(Process):
+    """Minimal process hosting a single reliable-broadcast endpoint."""
+
+    def __init__(self, pid, network, protocol, **kwargs):
+        super().__init__(pid, network)
+        self.delivered = []
+        self._rbc = protocol(
+            pid,
+            network.config,
+            send=self.send,
+            broadcast=self.broadcast,
+            deliver=lambda payload, r, src: self.delivered.append((payload, r, src)),
+            **kwargs,
+        )
+
+    def on_message(self, src, message):
+        self._rbc.handle(src, message)
+
+    def r_bcast(self, payload, round_):
+        self._rbc.r_bcast(payload, round_)
+
+
+def payload(source=0, round_=1, txs=(b"tx",)):
+    return Vertex(round_, source, Block(source, round_, tuple(txs)), frozenset({0, 1, 2}))
+
+
+def build(protocol, n=4, seed=0, **kwargs):
+    config = SystemConfig(n=n, seed=seed)
+    sched = Scheduler()
+    network = Network(sched, config, UniformDelay(derive_rng(seed, "d")))
+    if protocol is AvidBroadcast:
+        kwargs.setdefault("decode_payload", Vertex.from_bytes)
+    hosts = [BroadcastHost(pid, network, protocol, **kwargs) for pid in range(n)]
+    return sched, network, hosts
+
+
+PROTOCOLS = [BrachaBroadcast, GossipBroadcast, AvidBroadcast]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestCommonProperties:
+    def test_validity_all_deliver(self, protocol):
+        sched, _net, hosts = build(protocol)
+        hosts[0].r_bcast(payload(), 1)
+        sched.run()
+        for host in hosts:
+            assert len(host.delivered) == 1
+            delivered, round_, source = host.delivered[0]
+            assert (round_, source) == (1, 0)
+            assert delivered.block == payload().block
+
+    def test_agreement_on_content(self, protocol):
+        sched, _net, hosts = build(protocol, seed=5)
+        hosts[2].r_bcast(payload(source=2, txs=(b"a", b"b")), 3)
+        sched.run()
+        digests = {host.delivered[0][0].digest for host in hosts}
+        assert len(digests) == 1
+
+    def test_integrity_single_delivery_per_slot(self, protocol):
+        sched, _net, hosts = build(protocol, seed=6)
+        hosts[1].r_bcast(payload(source=1), 1)
+        sched.run()
+        for host in hosts:
+            assert len(host.delivered) == 1
+
+    def test_concurrent_broadcasts_all_deliver(self, protocol):
+        sched, _net, hosts = build(protocol, seed=7)
+        for pid, host in enumerate(hosts):
+            host.r_bcast(payload(source=pid), 1)
+        sched.run()
+        for host in hosts:
+            assert len(host.delivered) == len(hosts)
+            assert {src for _, _, src in host.delivered} == {0, 1, 2, 3}
+
+    def test_multiple_rounds_from_same_source(self, protocol):
+        sched, _net, hosts = build(protocol, seed=8)
+        hosts[0].r_bcast(payload(round_=1), 1)
+        hosts[0].r_bcast(payload(round_=2), 2)
+        sched.run()
+        for host in hosts:
+            rounds = sorted(r for _, r, _ in host.delivered)
+            assert rounds == [1, 2]
+
+
+class TestBrachaSpecifics:
+    def test_equivocation_delivers_at_most_one(self):
+        sched, _net, hosts = build(BrachaBroadcast, seed=9)
+        left = payload(txs=(b"left",))
+        right = payload(txs=(b"right",))
+        # Byzantine sender 0 sends conflicting SENDs to the two halves.
+        for dst in range(4):
+            chosen = left if dst < 2 else right
+            hosts[0].send(dst, BrachaMessage("SEND", 0, 1, chosen))
+        sched.run()
+        delivered_digests = set()
+        for host in hosts:
+            for vertex, _, _ in host.delivered:
+                delivered_digests.add(vertex.digest)
+        # With a split 2/2 neither side reaches the 2f+1 echo quorum.
+        assert len(delivered_digests) <= 1
+
+    def test_forged_send_from_non_source_ignored(self):
+        sched, _net, hosts = build(BrachaBroadcast, seed=10)
+        # Process 1 claims a SEND whose source field says 0: must be ignored
+        # because the network authenticates the actual sender.
+        hosts[1].send(2, BrachaMessage("SEND", 0, 1, payload()))
+        sched.run()
+        assert all(host.delivered == [] for host in hosts)
+
+    def test_ready_amplification_from_f_plus_1(self):
+        """A host that saw no ECHO quorum still delivers via f+1 READYs."""
+        sched, _net, hosts = build(BrachaBroadcast, seed=11)
+        vertex = payload()
+        for sender in (1, 2):
+            for dst in range(4):
+                hosts[sender].send(dst, BrachaMessage("READY", 0, 1, vertex))
+        sched.run()
+        # 2 READYs (= f+1) make everyone READY; 2f+1=3 READYs then deliver.
+        for host in hosts:
+            assert len(host.delivered) == 1
+
+
+class TestAvidSpecifics:
+    def test_forged_fragment_rejected(self):
+        sched, _net, hosts = build(AvidBroadcast, seed=12)
+        from repro.broadcast.avid import AvidMessage
+
+        bogus = AvidMessage("ECHO", 0, 1, b"\x00" * 32, 1, b"junk", (), 4)
+        hosts[1].send(2, bogus)
+        sched.run()
+        assert all(host.delivered == [] for host in hosts)
+
+    def test_large_payload_roundtrip(self):
+        sched, _net, hosts = build(AvidBroadcast, seed=13)
+        big = payload(txs=tuple(bytes([i]) * 100 for i in range(20)))
+        hosts[0].r_bcast(big, 1)
+        sched.run()
+        for host in hosts:
+            assert host.delivered[0][0] == big
+
+    def test_fragments_smaller_than_payload(self):
+        """The economical property: per-process fragments ~ |m|/(f+1)."""
+        from repro.codes.reed_solomon import rs_encode
+
+        data = payload(txs=(b"x" * 900,)).to_bytes()
+        fragments = rs_encode(data, 2, 4)  # k = f+1 = 2 for n = 4
+        assert all(len(f) <= len(data) // 2 + 2 for f in fragments)
+
+
+class TestGossipSpecifics:
+    def test_small_system_samples_cover_everyone(self):
+        sched, _net, hosts = build(GossipBroadcast, seed=14, sample_factor=10.0)
+        hosts[3].r_bcast(payload(source=3), 1)
+        sched.run()
+        assert all(len(host.delivered) == 1 for host in hosts)
+
+    def test_larger_system_delivers_whp(self):
+        sched, _net, hosts = build(GossipBroadcast, n=7, seed=15)
+        hosts[0].r_bcast(payload(), 1)
+        sched.run()
+        delivered = sum(1 for host in hosts if host.delivered)
+        assert delivered == 7  # with 4·ln(n) samples failure is negligible

@@ -1,0 +1,153 @@
+"""Adversarial broadcast behaviours beyond simple equivocation.
+
+These tests drive the exact mechanisms that make the broadcasts *Byzantine*
+reliable: AVID's re-encode verification against inconsistent encodings,
+Bracha's per-digest quorums under vote splitting, gossip's subscription
+replay, and the dispersal layer's fragment authentication.
+"""
+
+from repro.broadcast.avid import AvidBroadcast, AvidMessage
+from repro.broadcast.bracha import BrachaBroadcast, BrachaMessage
+from repro.broadcast.gossip import GossipBroadcast, GossipSubscribe
+from repro.codes.merkle import MerkleTree
+from repro.codes.reed_solomon import rs_encode
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.dag.vertex import Vertex
+from repro.mempool.blocks import Block
+from repro.sim.adversary import UniformDelay
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+
+
+class Host(Process):
+    def __init__(self, pid, network, protocol, **kwargs):
+        super().__init__(pid, network)
+        self.delivered = []
+        if protocol is AvidBroadcast:
+            kwargs.setdefault("decode_payload", Vertex.from_bytes)
+        self.rbc = protocol(
+            pid,
+            network.config,
+            send=self.send,
+            broadcast=self.broadcast,
+            deliver=lambda p, r, s: self.delivered.append((p, r, s)),
+            **kwargs,
+        )
+
+    def on_message(self, src, message):
+        self.rbc.handle(src, message)
+
+
+def build(protocol, n=4, seed=0, **kwargs):
+    config = SystemConfig(n=n, seed=seed)
+    sched = Scheduler()
+    network = Network(sched, config, UniformDelay(derive_rng(seed, "d")))
+    hosts = [Host(pid, network, protocol, **kwargs) for pid in range(n)]
+    return sched, hosts
+
+
+def vertex(txs=(b"tx",)):
+    return Vertex(1, 0, Block(0, 1, tuple(txs)), frozenset({0, 1, 2}))
+
+
+class TestAvidVerifiability:
+    def test_inconsistent_encoding_rejected_by_everyone(self):
+        """A Byzantine sender disperses fragments that authenticate against
+        the root but do NOT come from a consistent Reed-Solomon encoding.
+
+        AVID's re-encode check must make every correct process reject the
+        dispersal identically (nobody delivers anything)."""
+        sched, hosts = build(AvidBroadcast, seed=20)
+        config = hosts[0].config
+        k = config.small_quorum
+        good = rs_encode(vertex().to_bytes(), k, config.n)
+        # Corrupt one parity fragment, then commit to the *corrupted* set:
+        # every fragment verifies against the Merkle root, but decoding from
+        # different subsets yields different payloads.
+        bad = list(good)
+        bad[3] = bytes(b ^ 0xFF for b in bad[3])
+        tree = MerkleTree(bad)
+        data_len = len(vertex().to_bytes())
+        for j in range(config.n):
+            hosts[0].send(
+                j,
+                AvidMessage(
+                    "VAL", 0, 1, tree.root, j, bad[j], tuple(tree.proof(j)), data_len
+                ),
+            )
+        sched.run()
+        for host in hosts:
+            assert host.delivered == [], "inconsistent dispersal was delivered"
+
+    def test_consistent_redispersal_still_works(self):
+        """Sanity: the same flow with a consistent encoding delivers."""
+        sched, hosts = build(AvidBroadcast, seed=21)
+        hosts[0].rbc.r_bcast(vertex(), 1)
+        sched.run()
+        assert all(len(host.delivered) == 1 for host in hosts)
+
+    def test_wrong_index_fragment_ignored(self):
+        sched, hosts = build(AvidBroadcast, seed=22)
+        config = hosts[0].config
+        data = vertex().to_bytes()
+        fragments = rs_encode(data, config.small_quorum, config.n)
+        tree = MerkleTree(fragments)
+        # VAL claiming to be for process 2 but sent to process 1.
+        hosts[0].send(
+            1,
+            AvidMessage("VAL", 0, 1, tree.root, 2, fragments[2], tuple(tree.proof(2)), len(data)),
+        )
+        sched.run()
+        assert all(host.delivered == [] for host in hosts)
+
+
+class TestBrachaVoteSplitting:
+    def test_byzantine_echoes_cannot_fake_quorum(self):
+        """f Byzantine echoes for a payload nobody sent don't reach quorum."""
+        sched, hosts = build(BrachaBroadcast, seed=23)
+        phantom = vertex(txs=(b"phantom",))
+        for dst in range(4):
+            hosts[3].send(dst, BrachaMessage("ECHO", 0, 1, phantom))
+        sched.run()
+        assert all(host.delivered == [] for host in hosts)
+
+    def test_byzantine_ready_alone_insufficient(self):
+        sched, hosts = build(BrachaBroadcast, seed=24)
+        phantom = vertex(txs=(b"phantom",))
+        for dst in range(4):
+            hosts[3].send(dst, BrachaMessage("READY", 0, 1, phantom))
+        sched.run()
+        # One READY (f = 1) is below the f+1 amplification threshold.
+        assert all(host.delivered == [] for host in hosts)
+
+    def test_mixed_split_converges_to_at_most_one(self):
+        """Sender splits SEND 3/1; the 3-side can deliver, never both."""
+        sched, hosts = build(BrachaBroadcast, seed=25)
+        a, b = vertex(txs=(b"a",)), vertex(txs=(b"b",))
+        for dst in range(3):
+            hosts[0].send(dst, BrachaMessage("SEND", 0, 1, a))
+        hosts[0].send(3, BrachaMessage("SEND", 0, 1, b))
+        sched.run()
+        digests = {p.digest for host in hosts for (p, _, _) in host.delivered}
+        assert len(digests) <= 1
+        if digests:
+            assert digests == {a.digest}
+
+
+class TestGossipSubscriptions:
+    def test_late_subscription_replay(self):
+        """A peer that subscribes after echoes were published still gets them."""
+        sched, hosts = build(GossipBroadcast, seed=26, sample_factor=10.0)
+        hosts[0].rbc.r_bcast(vertex(), 1)
+        sched.run()
+        # Everyone delivered despite subscription messages racing the
+        # broadcast — the replay path covered the stragglers.
+        assert all(len(host.delivered) == 1 for host in hosts)
+
+    def test_unknown_channel_subscription_ignored(self):
+        sched, hosts = build(GossipBroadcast, seed=27)
+        hosts[1].send(0, GossipSubscribe("bogus-channel"))
+        sched.run()  # must not raise
+        assert hosts[0].delivered == []

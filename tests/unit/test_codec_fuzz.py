@@ -1,0 +1,50 @@
+"""Codec robustness: arbitrary bytes must fail cleanly, never crash oddly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import decode_message, encode_message
+from repro.common.errors import WireFormatError
+
+
+class TestDecodeFuzz:
+    @settings(max_examples=200)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_random_bytes_raise_wire_format_error_or_decode(self, data):
+        """Garbage either decodes (a valid frame by chance) or raises
+        WireFormatError — never any other exception type."""
+        try:
+            decode_message(data)
+        except WireFormatError:
+            pass
+
+    @settings(max_examples=60)
+    @given(st.binary(min_size=1, max_size=100), st.integers(min_value=0, max_value=50))
+    def test_truncation_of_valid_frames(self, payload, cut):
+        from repro.broadcast.gossip import GossipSubscribe
+
+        frame = encode_message(GossipSubscribe(payload.decode("latin1")))
+        truncated = frame[: max(1, len(frame) - 1 - cut % len(frame))]
+        if truncated == frame:
+            return
+        try:
+            decoded = decode_message(truncated)
+            # Only acceptable if truncation produced another valid frame.
+            assert decoded is not None
+        except WireFormatError:
+            pass
+
+    @settings(max_examples=60)
+    @given(st.binary(min_size=2, max_size=120), st.integers(min_value=0, max_value=119))
+    def test_bit_flips_never_crash(self, base, position):
+        from repro.baselines.vaba import VabaMessage
+        from repro.mempool.blocks import Block
+
+        frame = bytearray(
+            encode_message(VabaMessage("PROMOTE", 1, 2, Block(0, 1, (base,))))
+        )
+        frame[position % len(frame)] ^= 0xFF
+        try:
+            decode_message(bytes(frame))
+        except WireFormatError:
+            pass

@@ -1,0 +1,120 @@
+"""Global perfect coin implementations: agreement, termination, fairness."""
+
+from collections import Counter
+
+from repro.coin.ideal import IdealCoin
+from repro.coin.threshold import CoinShareMessage, ThresholdCoin, leader_from_secret
+from repro.crypto.dealer import CoinDealer
+
+
+class TestIdealCoin:
+    def test_agreement_across_processes(self):
+        coins = [IdealCoin(seed=7, n=4) for _ in range(4)]
+        for coin in coins:
+            coin.invoke(3)
+        leaders = {coin.leader_of(3) for coin in coins}
+        assert len(leaders) == 1
+
+    def test_resolves_immediately(self):
+        coin = IdealCoin(seed=7, n=4)
+        assert coin.leader_of(1) is None
+        coin.invoke(1)
+        assert coin.leader_of(1) is not None
+
+    def test_fairness_statistical(self):
+        coin = IdealCoin(seed=11, n=4)
+        counts = Counter(coin.oracle(w) for w in range(4000))
+        for process in range(4):
+            assert 0.2 < counts[process] / 4000 < 0.3  # expected 0.25
+
+    def test_oracle_matches_invoke(self):
+        coin = IdealCoin(seed=7, n=4)
+        peeked = coin.oracle(9)
+        coin.invoke(9)
+        assert coin.leader_of(9) == peeked
+
+    def test_subscription_replays_past_resolutions(self):
+        coin = IdealCoin(seed=7, n=4)
+        coin.invoke(1)
+        seen = []
+        coin.subscribe(lambda instance, leader: seen.append((instance, leader)))
+        assert seen == [(1, coin.leader_of(1))]
+
+
+def build_threshold_coins(n=4, threshold=2, seed=3):
+    dealer = CoinDealer(seed=seed, n=n, threshold=threshold)
+    sent: list[tuple[int, CoinShareMessage]] = []
+    coins = []
+    for pid in range(n):
+        coin = ThresholdCoin(
+            pid,
+            dealer,
+            dealer.key_for(pid),
+            broadcast_share=lambda msg, pid=pid: sent.append((pid, msg)),
+        )
+        coins.append(coin)
+    return dealer, coins, sent
+
+
+class TestThresholdCoin:
+    def test_unresolved_below_threshold(self):
+        _dealer, coins, sent = build_threshold_coins()
+        coins[0].invoke(1)
+        # Only its own share so far: below f+1 = 2.
+        assert coins[0].leader_of(1) is None
+
+    def test_resolves_at_threshold_and_agreement(self):
+        _dealer, coins, sent = build_threshold_coins()
+        coins[0].invoke(1)
+        coins[1].invoke(1)
+        # Deliver the queued broadcasts everywhere.
+        for sender, message in list(sent):
+            for coin in coins:
+                coin.on_message(sender, message)
+        leaders = {coin.leader_of(1) for coin in coins}
+        assert None not in leaders
+        assert len(leaders) == 1
+
+    def test_leader_matches_dealer_secret(self):
+        dealer, coins, sent = build_threshold_coins()
+        coins[0].invoke(2)
+        coins[1].invoke(2)
+        for sender, message in list(sent):
+            for coin in coins:
+                coin.on_message(sender, message)
+        expected = leader_from_secret(dealer.secret(2), 2, 4)
+        assert coins[2].leader_of(2) == expected
+
+    def test_forged_shares_rejected(self):
+        _dealer, coins, sent = build_threshold_coins()
+        coins[0].invoke(1)
+        # A Byzantine process spams bogus shares; they must not resolve it.
+        for _ in range(5):
+            coins[0].deliver_share(3, 1, 123456789)
+        assert coins[0].leader_of(1) is None
+
+    def test_duplicate_shares_do_not_double_count(self):
+        _dealer, coins, sent = build_threshold_coins()
+        coins[0].invoke(1)
+        share = coins[1]._key.share(1)
+        coins[0].deliver_share(1, 1, share)
+        coins[0].deliver_share(1, 1, share)
+        assert coins[0].leader_of(1) is not None  # 2 distinct (0 and 1)
+
+    def test_invoke_idempotent(self):
+        _dealer, coins, sent = build_threshold_coins()
+        coins[0].invoke(1)
+        coins[0].invoke(1)
+        assert len(sent) == 1
+
+    def test_share_wire_size_constant(self):
+        message = CoinShareMessage(1, 2**100)
+        assert message.wire_size(4) == message.wire_size(100)
+
+    def test_fairness_statistical(self):
+        dealer = CoinDealer(seed=13, n=4, threshold=2)
+        counts = Counter(
+            leader_from_secret(dealer.secret(w), w, 4) for w in range(4000)
+        )
+        for process in range(4):
+            assert 0.2 < counts[process] / 4000 < 0.3

@@ -1,0 +1,57 @@
+"""SystemConfig validation."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+
+
+class TestSystemConfig:
+    def test_defaults(self):
+        config = SystemConfig(n=4)
+        assert config.f == 1
+        assert config.quorum == 3
+        assert config.small_quorum == 2
+        assert config.genesis_size == 4
+        assert config.wave_length == 4
+        assert list(config.processes) == [0, 1, 2, 3]
+        assert config.correct == [0, 1, 2, 3]
+
+    def test_byzantine_set(self):
+        config = SystemConfig(n=4, byzantine=frozenset({3}))
+        assert config.correct == [0, 1, 2]
+        assert not config.is_correct(3)
+        assert config.is_correct(0)
+
+    def test_too_many_byzantine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=4, byzantine=frozenset({2, 3}))
+
+    def test_byzantine_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=4, byzantine=frozenset({7}))
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=0)
+
+    def test_genesis_size_bounds(self):
+        assert SystemConfig(n=4, genesis_size=3).genesis_size == 3
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=4, genesis_size=2)  # below 2f+1
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=4, genesis_size=5)  # above n
+
+    def test_wave_length_positive(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n=4, wave_length=0)
+
+    def test_frozen(self):
+        config = SystemConfig(n=4)
+        with pytest.raises(Exception):
+            config.n = 7
+
+    def test_large_deployment(self):
+        config = SystemConfig(n=31)
+        assert config.f == 10
+        assert config.quorum == 21

@@ -1,0 +1,157 @@
+"""DagStore reachability: bitset answers vs networkx ground truth."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DagError
+from repro.dag.store import DagStore
+from repro.dag.vertex import Ref, Vertex
+from repro.mempool.blocks import Block
+
+
+def make_vertex(round_, source, strong, weak=(), n_txs=0):
+    return Vertex(
+        round_,
+        source,
+        Block(source, round_, tuple(b"t" for _ in range(n_txs))),
+        frozenset(strong),
+        frozenset(Ref(s, r) for s, r in weak),
+    )
+
+
+def build_random_dag(seed, n=4, rounds=6):
+    """Grow a layered DAG with random strong/weak edges; mirror in networkx."""
+    rng = random.Random(seed)
+    store = DagStore(genesis_size=n)
+    graph = nx.DiGraph()
+    for source in range(n):
+        graph.add_node(Ref(source, 0))
+    all_refs = [Ref(source, 0) for source in range(n)]
+    strong_graph = graph.copy()
+    for round_ in range(1, rounds + 1):
+        prev = [ref for ref in all_refs if ref.round == round_ - 1]
+        new_refs = []
+        skipped = 0
+        for source in range(n):
+            if round_ > 1 and skipped < n - 3 and rng.random() < 0.2:
+                skipped += 1
+                continue  # this process's vertex is late/missing
+            k = min(len(prev), max(3, len(prev) - 1))
+            strong = {ref.source for ref in rng.sample(prev, k)}
+            old = [ref for ref in all_refs if ref.round < round_ - 1]
+            weak = set()
+            if old and rng.random() < 0.5:
+                pick = rng.choice(old)
+                weak.add((pick.source, pick.round))
+            vertex = make_vertex(round_, source, strong, weak)
+            store.add(vertex)
+            ref = vertex.ref
+            graph.add_node(ref)
+            strong_graph.add_node(ref)
+            for parent in strong:
+                graph.add_edge(ref, Ref(parent, round_ - 1))
+                strong_graph.add_edge(ref, Ref(parent, round_ - 1))
+            for s, r in weak:
+                graph.add_edge(ref, Ref(s, r))
+            new_refs.append(ref)
+        all_refs.extend(new_refs)
+    return store, graph, strong_graph, all_refs
+
+
+class TestReachabilityAgainstNetworkx:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_path_matches_descendants(self, seed):
+        store, graph, strong_graph, refs = build_random_dag(seed)
+        rng = random.Random(seed + 1)
+        pairs = [(rng.choice(refs), rng.choice(refs)) for _ in range(80)]
+        for a, b in pairs:
+            expected = a == b or nx.has_path(graph, a, b)
+            assert store.path(a, b) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_strong_path_matches_strong_subgraph(self, seed):
+        store, graph, strong_graph, refs = build_random_dag(seed)
+        rng = random.Random(seed + 2)
+        pairs = [(rng.choice(refs), rng.choice(refs)) for _ in range(80)]
+        for a, b in pairs:
+            expected = a == b or nx.has_path(strong_graph, a, b)
+            assert store.strong_path(a, b) == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_causal_history_matches_descendants(self, seed):
+        store, graph, _strong, refs = build_random_dag(seed)
+        rng = random.Random(seed + 3)
+        for ref in rng.sample(refs, 10):
+            expected = set(nx.descendants(graph, ref)) | {ref}
+            got = {v.ref for v in store.causal_history(ref)}
+            assert got == expected
+
+
+class TestStoreBasics:
+    def test_genesis_present(self):
+        store = DagStore(genesis_size=4)
+        assert store.round_size(0) == 4
+        assert store.vertex_count == 4
+
+    def test_add_requires_parents(self):
+        store = DagStore(genesis_size=4)
+        orphan = make_vertex(2, 0, {0, 1, 2})  # round-1 parents absent
+        assert not store.can_add(orphan)
+        with pytest.raises(DagError):
+            store.add(orphan)
+
+    def test_duplicate_slot_rejected(self):
+        store = DagStore(genesis_size=4)
+        vertex = make_vertex(1, 0, {0, 1, 2})
+        store.add(vertex)
+        with pytest.raises(DagError):
+            store.add(make_vertex(1, 0, {1, 2, 3}))
+
+    def test_round_view_and_get(self):
+        store = DagStore(genesis_size=4)
+        vertex = make_vertex(1, 2, {0, 1, 2})
+        store.add(vertex)
+        assert store.round(1) == {2: vertex}
+        assert store.get(Ref(2, 1)) == vertex
+        assert store.get(Ref(3, 1)) is None
+        assert store.contains(Ref(2, 1))
+
+    def test_causal_history_sorted_deterministically(self):
+        store = DagStore(genesis_size=4)
+        v1 = make_vertex(1, 1, {0, 1, 2, 3})
+        store.add(v1)
+        history = store.causal_history(v1.ref)
+        keys = [(v.round, v.source) for v in history]
+        assert keys == sorted(keys)
+
+    def test_vertices_for_mask(self):
+        store = DagStore(genesis_size=4)
+        v1 = make_vertex(1, 0, {0, 1, 2})
+        store.add(v1)
+        mask = store.closed_mask(v1.ref)
+        got = store.vertices_for_mask(mask)
+        assert {v.ref for v in got} == {Ref(0, 0), Ref(1, 0), Ref(2, 0), v1.ref}
+
+    def test_path_unknown_vertex_false(self):
+        store = DagStore(genesis_size=4)
+        assert not store.path(Ref(9, 9), Ref(0, 0))
+        assert not store.strong_path(Ref(0, 0), Ref(9, 9))
+
+    def test_weak_edges_excluded_from_strong_path(self):
+        store = DagStore(genesis_size=4)
+        v1 = make_vertex(1, 0, {0, 1, 2})
+        store.add(v1)
+        v2 = make_vertex(2, 0, {0}, weak=())
+        # Give v2 only one strong parent (store does not enforce quorum; the
+        # builder does) plus a weak edge to genesis source 3.
+        v2 = make_vertex(2, 0, {0}, weak=((3, 0),))
+        store.add(v2)
+        assert store.path(v2.ref, Ref(3, 0))
+        assert not store.strong_path(v2.ref, Ref(3, 0))

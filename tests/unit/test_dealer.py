@@ -1,0 +1,49 @@
+"""Trusted-dealer coin key material."""
+
+import random
+
+import pytest
+
+from repro.common.errors import SecretSharingError
+from repro.crypto.dealer import CoinDealer
+from repro.crypto.shamir import reconstruct_secret
+
+
+class TestCoinDealer:
+    def test_any_threshold_keys_reconstruct_instance_secret(self):
+        dealer = CoinDealer(seed=9, n=7, threshold=3)
+        keys = [dealer.key_for(i) for i in range(7)]
+        for instance in (1, 2, 50):
+            expected = dealer.secret(instance)
+            for _ in range(5):
+                chosen = random.Random(instance).sample(range(7), 3)
+                points = [(i + 1, keys[i].share(instance)) for i in chosen]
+                assert reconstruct_secret(points, 3) == expected
+
+    def test_instances_independent(self):
+        dealer = CoinDealer(seed=9, n=4, threshold=2)
+        assert dealer.secret(1) != dealer.secret(2)
+
+    def test_share_verification(self):
+        dealer = CoinDealer(seed=9, n=4, threshold=2)
+        key = dealer.key_for(2)
+        assert dealer.verify_share(2, 5, key.share(5))
+        assert not dealer.verify_share(2, 5, key.share(5) + 1)
+        assert not dealer.verify_share(1, 5, key.share(5))
+
+    def test_key_bound_to_process(self):
+        dealer = CoinDealer(seed=9, n=4, threshold=2)
+        with pytest.raises(SecretSharingError):
+            dealer.key_for(4)
+        with pytest.raises(SecretSharingError):
+            dealer.key_for(-1)
+
+    def test_deterministic_across_instances_of_dealer(self):
+        a = CoinDealer(seed=5, n=4, threshold=2)
+        b = CoinDealer(seed=5, n=4, threshold=2)
+        assert a.secret(3) == b.secret(3)
+        assert a.share(1, 3) == b.share(1, 3)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(SecretSharingError):
+            CoinDealer(seed=1, n=4, threshold=5)

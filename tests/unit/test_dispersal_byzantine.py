@@ -1,0 +1,95 @@
+"""Dispersal/retrieval under Byzantine fragment injection (Dumbo's substrate)."""
+
+from repro.baselines.dispersal import AvidDispersal, DispersalMessage
+from repro.codes.merkle import MerkleTree
+from repro.codes.reed_solomon import rs_encode
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.sim.adversary import UniformDelay
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+
+
+class Host(Process):
+    def __init__(self, pid, network):
+        super().__init__(pid, network)
+        self.dispersal = AvidDispersal(
+            pid, network.config, self.send, self.broadcast
+        )
+
+    def on_message(self, src, message):
+        self.dispersal.handle(src, message)
+
+
+def build(seed=0, n=4):
+    config = SystemConfig(n=n, seed=seed)
+    sched = Scheduler()
+    network = Network(sched, config, UniformDelay(derive_rng(seed, "d")))
+    hosts = [Host(pid, network) for pid in range(n)]
+    return sched, hosts
+
+
+class TestByzantineFragments:
+    def test_forged_fragment_responses_rejected(self):
+        """Retrieval ignores fragments that fail Merkle verification."""
+        sched, hosts = build(seed=1)
+        data = b"the real batch" * 10
+        root = hosts[0].dispersal.disperse(data)
+        sched.run()
+        # A Byzantine process spams bogus FRAGMENT messages at the retriever.
+        results = []
+        hosts[2].dispersal.retrieve(root, len(data), results.append)
+        for _ in range(5):
+            hosts[3].send(
+                2,
+                DispersalMessage("FRAGMENT", root, 1, b"garbage", (), len(data)),
+            )
+        sched.run()
+        assert results == [data]
+
+    def test_forged_store_rejected(self):
+        """A STORE whose proof doesn't verify is never stored or echoed."""
+        sched, hosts = build(seed=2)
+        hosts[3].send(
+            1, DispersalMessage("STORE", b"\x01" * 32, 1, b"junk", (), 10)
+        )
+        sched.run()
+        assert not hosts[1].dispersal.is_complete(b"\x01" * 32)
+
+    def test_echo_spam_cannot_fake_completion_for_retrievers(self):
+        """Byzantine ECHOes may mark a root 'complete', but retrieval still
+        requires k genuine, Merkle-verified fragments, which do not exist."""
+        sched, hosts = build(seed=3)
+        phantom_root = b"\x02" * 32
+        for _ in range(4):
+            for dst in range(4):
+                hosts[3].send(
+                    dst, DispersalMessage("ECHO", phantom_root, data_len=16)
+                )
+        sched.run()
+        results = []
+        hosts[0].dispersal.retrieve(phantom_root, 16, results.append)
+        sched.run()
+        assert results == []  # nothing reconstructable
+
+    def test_two_concurrent_dispersals_do_not_mix(self):
+        sched, hosts = build(seed=4)
+        data_a = b"batch-A" * 20
+        data_b = b"batch-B" * 20
+        root_a = hosts[0].dispersal.disperse(data_a)
+        root_b = hosts[1].dispersal.disperse(data_b)
+        sched.run()
+        out = {}
+        hosts[2].dispersal.retrieve(root_a, len(data_a), lambda d: out.setdefault("a", d))
+        hosts[2].dispersal.retrieve(root_b, len(data_b), lambda d: out.setdefault("b", d))
+        sched.run()
+        assert out == {"a": data_a, "b": data_b}
+
+    def test_fragment_sizes_are_economical(self):
+        """The whole point of dispersal: per-process bytes ~ |m|/(f+1)."""
+        config = SystemConfig(n=4, seed=0)
+        data = b"z" * 1000
+        fragments = rs_encode(data, config.small_quorum, config.n)
+        assert all(len(f) <= len(data) // 2 + 2 for f in fragments)
+        assert MerkleTree(fragments).root  # commits to all of them

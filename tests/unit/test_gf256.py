@@ -1,0 +1,87 @@
+"""GF(2^8) field axioms and table consistency."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes.gf256 import gf_add, gf_div, gf_inv, gf_mul, gf_pow, poly_eval
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_commutative_and_self_inverse(self, a, b):
+        assert gf_add(a, b) == gf_add(b, a)
+        assert gf_add(gf_add(a, b), b) == a
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+    def test_zero_division_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+
+class TestPower:
+    @given(nonzero)
+    def test_pow_255_is_identity(self, a):
+        assert gf_pow(a, 255) == 1
+
+    @given(nonzero, st.integers(min_value=-10, max_value=10))
+    def test_pow_matches_repeated_multiplication(self, a, exponent):
+        expected = 1
+        base = a if exponent >= 0 else gf_inv(a)
+        for _ in range(abs(exponent)):
+            expected = gf_mul(expected, base)
+        assert gf_pow(a, exponent) == expected
+
+    def test_zero_powers(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(0, -1)
+
+
+class TestPolyEval:
+    def test_constant(self):
+        assert poly_eval([7], 99) == 7
+
+    def test_linear(self):
+        # p(x) = 3 + 2x at x = 1 is 3 XOR 2 = 1
+        assert poly_eval([3, 2], 1) == 1
+
+    @given(st.lists(elements, min_size=1, max_size=8), elements)
+    def test_horner_matches_direct_sum(self, coefficients, x):
+        direct = 0
+        for power, coefficient in enumerate(coefficients):
+            direct ^= gf_mul(coefficient, gf_pow(x, power)) if x or power == 0 else 0
+        assert poly_eval(coefficients, x) == direct

@@ -1,0 +1,45 @@
+"""Canonical hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import digest_bytes, digest_int, digest_of
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert digest_of(1, "a", b"x") == digest_of(1, "a", b"x")
+
+    def test_length(self):
+        assert len(digest_of("x")) == 32
+
+    def test_type_prefixes_prevent_cross_type_collisions(self):
+        assert digest_of(1) != digest_of("1")
+        assert digest_of(b"1") != digest_of("1")
+        assert digest_of(True) != digest_of(1)
+        assert digest_of(None) != digest_of(0)
+
+    def test_structure_matters(self):
+        assert digest_of((1, 2), 3) != digest_of(1, (2, 3))
+        assert digest_of([1, 2]) != digest_of([1], [2])
+
+    def test_int_range(self):
+        value = digest_int("seed")
+        assert 0 <= value < 2**256
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            digest_of(object())
+
+    def test_bytes_digest_matches_hashlib(self):
+        import hashlib
+
+        assert digest_bytes(b"abc") == hashlib.sha256(b"abc").digest()
+
+    @given(st.lists(st.one_of(st.integers(), st.text(max_size=10), st.binary(max_size=10)), max_size=6))
+    def test_injective_on_simple_lists(self, values):
+        # Same content hashes the same; a perturbed copy hashes differently.
+        base = digest_of(*values)
+        assert base == digest_of(*values)
+        assert digest_of(*values, "extra") != base

@@ -1,0 +1,67 @@
+"""Latency analysis helpers."""
+
+import pytest
+
+from repro.analysis.latency import (
+    commit_sizes,
+    delivery_latencies,
+    inter_commit_times,
+    throughput,
+)
+from repro.common.config import SystemConfig
+from repro.core.harness import DagRiderDeployment
+from repro.core.node import OrderedEntry
+from repro.core.ordering import CommitRecord
+from repro.mempool.blocks import Block
+
+
+def entry(position, round_, time, txs=1):
+    return OrderedEntry(
+        position, Block(0, position, tuple(b"t" for _ in range(txs))), round_, 0, time
+    )
+
+
+class TestPureHelpers:
+    def test_inter_commit_times(self):
+        commits = [CommitRecord(wave=w, time=t) for w, t in ((1, 2.0), (2, 5.0), (4, 9.0))]
+        assert inter_commit_times(commits) == [3.0, 4.0]
+
+    def test_inter_commit_times_short(self):
+        assert inter_commit_times([]) == []
+        assert inter_commit_times([CommitRecord(wave=1, time=1.0)]) == []
+
+    def test_commit_sizes(self):
+        commits = [
+            CommitRecord(wave=1, delivered_count=3),
+            CommitRecord(wave=2, delivered_count=12),
+        ]
+        assert commit_sizes(commits) == [3, 12]
+
+    def test_delivery_latencies(self):
+        ordered = [entry(0, 1, 2.0), entry(1, 1, 5.0), entry(2, 2, 6.0)]
+        spreads = delivery_latencies(ordered)
+        assert spreads[1] == 3.0
+        assert spreads[2] == 0.0
+
+    def test_throughput(self):
+        ordered = [entry(0, 1, 1.0, txs=4), entry(1, 1, 3.0, txs=4), entry(2, 2, 99.0, txs=4)]
+        assert throughput(ordered, horizon=10.0) == pytest.approx(0.8)
+
+    def test_throughput_bad_horizon(self):
+        with pytest.raises(ValueError):
+            throughput([], horizon=0)
+
+
+class TestOnRealRun:
+    def test_commit_metrics_from_deployment(self):
+        deployment = DagRiderDeployment(SystemConfig(n=4, seed=9))
+        assert deployment.run_until_wave(4)
+        node = deployment.correct_nodes[0]
+        gaps = inter_commit_times(node.ordering.commits)
+        assert gaps and all(gap > 0 for gap in gaps)
+        sizes = commit_sizes(node.ordering.commits)
+        # Steady-state commits deliver O(n) vertices (>= 2f+1 per round of a
+        # wave); the first commit may be just the wave-1 leader itself.
+        assert max(sizes) >= 3
+        rate = throughput(node.ordered, deployment.scheduler.now)
+        assert rate > 0

@@ -1,0 +1,66 @@
+"""Merkle tree construction and membership proofs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.merkle import MerkleTree, verify_proof
+
+
+class TestMerkleTree:
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert verify_proof(tree.root, b"only", 0, tree.proof(0), 1)
+
+    def test_all_proofs_verify(self):
+        leaves = [bytes([i]) * 4 for i in range(7)]  # odd count: padding path
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_proof(tree.root, leaf, i, tree.proof(i), len(leaves))
+
+    def test_wrong_leaf_rejected(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        assert not verify_proof(tree.root, b"x", 0, tree.proof(0), 4)
+
+    def test_wrong_index_rejected(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        assert not verify_proof(tree.root, b"a", 1, tree.proof(0), 4)
+
+    def test_wrong_root_rejected(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        other = MerkleTree([b"w", b"x", b"y", b"z"])
+        assert not verify_proof(other.root, b"a", 0, tree.proof(0), 4)
+
+    def test_truncated_proof_rejected(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        assert not verify_proof(tree.root, b"a", 0, tree.proof(0)[:-1], 4)
+
+    def test_out_of_range_index(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(IndexError):
+            tree.proof(2)
+        assert not verify_proof(tree.root, b"a", 5, tree.proof(0), 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_order_matters(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_leaf_interior_domain_separation(self):
+        """A two-leaf root cannot be replayed as a leaf of a larger tree."""
+        inner = MerkleTree([b"a", b"b"])
+        outer = MerkleTree([inner.root, b"c"])
+        assert not verify_proof(outer.root, b"a", 0, [b"b"] + outer.proof(0), 2)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.binary(min_size=0, max_size=20), min_size=1, max_size=33))
+    def test_roundtrip_property(self, leaves):
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_proof(tree.root, leaf, i, tree.proof(i), len(leaves))

@@ -1,0 +1,172 @@
+"""Network semantics: reliable links, authenticated senders, adversary limits."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ProtocolError
+from repro.sim.adversary import Adversary, FixedDelay
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+from repro.sim.wire import Message
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    body: bytes = b"x"
+
+    def wire_size(self, n: int) -> int:
+        return 8 * len(self.body)
+
+
+class Recorder(Process):
+    def __init__(self, pid, network):
+        super().__init__(pid, network)
+        self.received: list[tuple[int, Message, float]] = []
+
+    def on_message(self, src, message):
+        self.received.append((src, message, self.now))
+
+
+def build(n=4, adversary=None, byzantine=frozenset()):
+    config = SystemConfig(n=n, byzantine=byzantine)
+    sched = Scheduler()
+    net = Network(sched, config, adversary or FixedDelay(1.0))
+    nodes = [Recorder(pid, net) for pid in range(n)]
+    return sched, net, nodes
+
+
+class TestDelivery:
+    def test_point_to_point(self):
+        sched, net, nodes = build()
+        net.send(0, 1, Ping())
+        sched.run()
+        assert len(nodes[1].received) == 1
+        src, _msg, at = nodes[1].received[0]
+        assert src == 0
+        assert at == 1.0
+
+    def test_broadcast_reaches_all_including_self(self):
+        sched, net, nodes = build()
+        net.broadcast(2, Ping())
+        sched.run()
+        for node in nodes:
+            assert len(node.received) == 1
+            assert node.received[0][0] == 2
+
+    def test_self_delivery_is_immediate_and_free(self):
+        sched, net, nodes = build()
+        net.send(3, 3, Ping())
+        sched.run()
+        assert nodes[3].received[0][2] == 0.0
+        assert net.metrics.correct_bits_total == 0
+
+    def test_unknown_destination_rejected(self):
+        config = SystemConfig(n=4)
+        net = Network(Scheduler(), config, FixedDelay())
+        with pytest.raises(ProtocolError):
+            net.send(0, 1, Ping())  # no process registered
+
+    def test_duplicate_registration_rejected(self):
+        sched, net, nodes = build()
+        with pytest.raises(ProtocolError):
+            Recorder(0, net)
+
+
+class TestMetricsAccounting:
+    def test_bits_counted_for_correct_senders(self):
+        sched, net, nodes = build()
+        net.send(0, 1, Ping(b"abcd"))  # 32 bits
+        sched.run()
+        assert net.metrics.correct_bits_total == 32
+
+    def test_byzantine_sender_bits_excluded(self):
+        sched, net, nodes = build(byzantine=frozenset({0}))
+        net.send(0, 1, Ping(b"abcd"))
+        net.send(1, 2, Ping(b"abcd"))
+        sched.run()
+        assert net.metrics.correct_bits_total == 32
+        assert net.metrics.total_bits == 64
+
+    def test_time_unit_is_max_correct_delay(self):
+        class TwoSpeeds(Adversary):
+            def delay(self, src, dst, message, now):
+                return 5.0 if src == 0 else 1.0
+
+        sched, net, nodes = build(adversary=TwoSpeeds())
+        net.send(0, 1, Ping())
+        net.send(1, 2, Ping())
+        sched.run()
+        assert net.metrics.max_correct_delay == 5.0
+        assert net.metrics.time_units(10.0) == 2.0
+
+
+class TestAdversaryLimits:
+    def test_cannot_drop_correct_messages(self):
+        class DropAll(Adversary):
+            def delay(self, src, dst, message, now):
+                return 1.0
+
+            def should_drop(self, src, dst, message, now):
+                return True
+
+        sched, net, nodes = build(adversary=DropAll())
+        with pytest.raises(ProtocolError):
+            net.send(0, 1, Ping())
+
+    def test_can_drop_byzantine_messages(self):
+        class DropAll(Adversary):
+            def delay(self, src, dst, message, now):
+                return 1.0
+
+            def should_drop(self, src, dst, message, now):
+                return True
+
+        sched, net, nodes = build(adversary=DropAll(), byzantine=frozenset({1}))
+        net.send(1, 0, Ping())
+        sched.run()
+        assert nodes[0].received == []
+
+    def test_invalid_delay_rejected(self):
+        class BadDelay(Adversary):
+            def delay(self, src, dst, message, now):
+                return float("inf")
+
+        sched, net, nodes = build(adversary=BadDelay())
+        with pytest.raises(ProtocolError):
+            net.send(0, 1, Ping())
+
+    def test_adaptive_corruption_bounded_by_f(self):
+        sched, net, nodes = build()
+        net.corrupt(0)
+        with pytest.raises(ProtocolError):
+            net.corrupt(1)  # f = 1 for n = 4
+
+    def test_adaptive_corruption_drops_in_flight(self):
+        class DropOnAsk(Adversary):
+            def delay(self, src, dst, message, now):
+                return 10.0
+
+            def should_drop(self, src, dst, message, now):
+                return True
+
+        sched, net, nodes = build(adversary=DropOnAsk())
+        # Sending while still correct: the drop request is refused.
+        with pytest.raises(ProtocolError):
+            net.send(0, 1, Ping())
+
+    def test_corrupt_then_queued_messages_dropped(self):
+        class DropAfterCorrupt(Adversary):
+            def delay(self, src, dst, message, now):
+                return 10.0
+
+            def should_drop(self, src, dst, message, now):
+                return now > 0.0  # refuse at send time, accept at corrupt time
+
+        sched, net, nodes = build(adversary=DropAfterCorrupt())
+        net.send(0, 1, Ping())
+        sched.call_at(1.0, lambda: net.corrupt(0))
+        sched.run()
+        assert nodes[1].received == []

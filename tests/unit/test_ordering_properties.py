@@ -1,0 +1,121 @@
+"""Property tests on the ordering layer's algebraic behaviour.
+
+Two properties no single scenario test pins down:
+
+* **coin-order commutativity** — the delivery log must not depend on the
+  order in which coin instances resolve (the threshold coin resolves
+  asynchronously, so any interleaving is possible);
+* **compaction transparency** — garbage-collecting delivered rounds midway
+  through a run must never change what is subsequently delivered.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coin.base import CoinProtocol
+from repro.common.config import SystemConfig
+from repro.core.ordering import DagRiderOrdering
+from repro.dag.store import DagStore
+from repro.dag.vertex import Vertex
+from repro.mempool.blocks import Block
+
+
+class ManualCoin(CoinProtocol):
+    """Coin whose resolution order the test controls."""
+
+    def __init__(self, leaders):
+        super().__init__()
+        self.leaders = leaders
+
+    def invoke(self, instance):
+        return None  # resolution is driven manually
+
+    def release(self, instance):
+        self._resolve(instance, self.leaders[instance])
+
+
+def build_dag(seed: int, waves: int) -> tuple[DagStore, dict[int, int]]:
+    """A randomized complete DAG of ``waves`` waves plus random leaders."""
+    rng = random.Random(seed)
+    store = DagStore(4)
+    for round_ in range(1, 4 * waves + 1):
+        prev = sorted(store.round(round_ - 1))
+        for source in range(4):
+            if round_ > 1 and len(prev) == 4 and rng.random() < 0.15 and source == 3:
+                continue  # occasionally a vertex goes missing
+            k = max(3, len(prev) - (1 if rng.random() < 0.3 else 0))
+            parents = frozenset(rng.sample(prev, k))
+            store.add(Vertex(round_, source, Block(source, round_), parents))
+    leaders = {w: rng.randrange(4) for w in range(1, waves + 1)}
+    return store, leaders
+
+
+def run_ordering(store, leaders, release_order):
+    config = SystemConfig(n=4, seed=0)
+    coin = ManualCoin(leaders)
+    delivered = []
+    ordering = DagRiderOrdering(
+        0, config, store, coin, a_deliver=lambda b, r, s: delivered.append((r, s))
+    )
+    waves = sorted(leaders)
+    for wave in waves:
+        ordering.wave_ready(wave)
+    for wave in release_order:
+        coin.release(wave)
+    return delivered, ordering.decided_wave
+
+
+class TestCoinOrderCommutativity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.randoms(use_true_random=False),
+    )
+    def test_delivery_independent_of_resolution_order(self, seed, shuffler):
+        waves = 4
+        store, leaders = build_dag(seed, waves)
+        in_order = list(range(1, waves + 1))
+        shuffled = in_order[:]
+        shuffler.shuffle(shuffled)
+
+        log_a, decided_a = run_ordering(store, leaders, in_order)
+        log_b, decided_b = run_ordering(store, leaders, shuffled)
+        assert log_a == log_b
+        assert decided_a == decided_b
+
+
+class TestCompactionTransparency:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_mid_run_compaction_preserves_future_deliveries(self, seed):
+        waves = 4
+        config = SystemConfig(n=4, seed=0)
+
+        def run(compact_after_wave):
+            store, leaders = build_dag(seed, waves)
+            coin = ManualCoin(leaders)
+            delivered = []
+            ordering = DagRiderOrdering(
+                0, config, store, coin,
+                a_deliver=lambda b, r, s: delivered.append((r, s)),
+            )
+            for wave in range(1, waves + 1):
+                ordering.wave_ready(wave)
+                coin.release(wave)
+                if wave == compact_after_wave and ordering.decided_wave >= wave:
+                    # Collect everything strictly below the committed wave's
+                    # first round — all of it is delivered by then.
+                    horizon = 4 * (wave - 1) + 1
+                    if all(
+                        ordering.is_delivered(v.ref)
+                        for r in range(1, horizon)
+                        for v in store.round(r).values()
+                    ):
+                        ordering.compact_store(horizon)
+            return delivered
+
+        baseline = run(compact_after_wave=None)
+        for compact_at in (1, 2, 3):
+            assert run(compact_at) == baseline

@@ -1,0 +1,74 @@
+"""Commit-quorum override (ablation hook) at the ordering-unit level."""
+
+from repro.coin.base import CoinProtocol
+from repro.common.config import SystemConfig
+from repro.core.ordering import DagRiderOrdering
+from repro.dag.store import DagStore
+from repro.dag.vertex import Vertex
+from repro.mempool.blocks import Block
+
+
+class FixedCoin(CoinProtocol):
+    def __init__(self, leaders):
+        super().__init__()
+        self.leaders = leaders
+
+    def invoke(self, instance):
+        self._resolve(instance, self.leaders[instance])
+
+
+def build_wave_with_support(support: int) -> DagStore:
+    """One wave where exactly ``support`` round-4 vertices reach leader (0,1)."""
+    store = DagStore(4)
+    for source in range(4):
+        store.add(Vertex(1, source, Block(source, 1), frozenset(range(4))))
+    # Rounds 2-3: sources 1..3 reference everyone; source 0 absent.
+    for round_ in (2, 3):
+        prev = set(store.round(round_ - 1))
+        for source in (1, 2, 3):
+            store.add(Vertex(round_, source, Block(source, round_), frozenset(prev)))
+    # Round 4 holds exactly ``support`` vertices, each reaching the leader
+    # through round 3 — so commit support equals the round-4 population.
+    prev = set(store.round(3))
+    for source in range(support):
+        store.add(Vertex(4, source, Block(source, 4), frozenset(prev)))
+    return store
+
+
+class TestCommitQuorumOverride:
+    def _ordering(self, store, quorum):
+        config = SystemConfig(n=4, seed=0)
+        delivered = []
+        ordering = DagRiderOrdering(
+            0,
+            config,
+            store,
+            FixedCoin({1: 0}),
+            a_deliver=lambda b, r, s: delivered.append((r, s)),
+            commit_quorum=quorum,
+        )
+        return ordering, delivered
+
+    def test_paper_quorum_needs_2f_plus_1(self):
+        store = build_wave_with_support(2)
+        ordering, delivered = self._ordering(store, quorum=3)
+        ordering.wave_ready(1)
+        assert ordering.decided_wave == 0
+        assert delivered == []
+
+    def test_weakened_quorum_commits_with_f_plus_1(self):
+        store = build_wave_with_support(2)
+        ordering, delivered = self._ordering(store, quorum=2)
+        ordering.wave_ready(1)
+        assert ordering.decided_wave == 1
+        assert delivered  # the leader's causal history got delivered
+
+    def test_default_matches_config_quorum(self):
+        store = build_wave_with_support(3)
+        config = SystemConfig(n=4, seed=0)
+        ordering = DagRiderOrdering(
+            0, config, store, FixedCoin({1: 0}), a_deliver=lambda *a: None
+        )
+        assert ordering.commit_quorum == config.quorum
+        ordering.wave_ready(1)
+        assert ordering.decided_wave == 1

@@ -1,0 +1,88 @@
+"""Reed-Solomon encode/decode with erasures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.reed_solomon import rs_decode, rs_encode
+
+
+class TestEncode:
+    def test_systematic_prefix(self):
+        data = bytes(range(12))
+        fragments = rs_encode(data, k=3, n=7)
+        # Fragments 0..k-1 are the data laid out column-wise.
+        rebuilt = bytearray(12)
+        for j in range(3):
+            for c, byte in enumerate(fragments[j]):
+                rebuilt[c * 3 + j] = byte
+        assert bytes(rebuilt) == data
+
+    def test_fragment_count_and_length(self):
+        data = b"hello world"
+        fragments = rs_encode(data, k=4, n=10)
+        assert len(fragments) == 10
+        expected_columns = -(-len(data) // 4)
+        assert all(len(f) == expected_columns for f in fragments)
+
+    def test_empty_payload(self):
+        fragments = rs_encode(b"", k=2, n=4)
+        assert rs_decode({0: fragments[0], 3: fragments[3]}, 2, 0) == b""
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rs_encode(b"x", k=0, n=4)
+        with pytest.raises(ValueError):
+            rs_encode(b"x", k=5, n=4)
+        with pytest.raises(ValueError):
+            rs_encode(b"x", k=2, n=256)
+
+
+class TestDecode:
+    def test_parity_only_reconstruction(self):
+        data = b"The quick brown fox jumps over the lazy dog"
+        fragments = rs_encode(data, k=3, n=9)
+        parity = {j: fragments[j] for j in (5, 7, 8)}
+        assert rs_decode(parity, 3, len(data)) == data
+
+    def test_every_k_subset_reconstructs(self):
+        data = bytes(random.Random(0).randrange(256) for _ in range(50))
+        k, n = 3, 7
+        fragments = rs_encode(data, k, n)
+        from itertools import combinations
+
+        for subset in combinations(range(n), k):
+            chosen = {j: fragments[j] for j in subset}
+            assert rs_decode(chosen, k, len(data)) == data
+
+    def test_too_few_fragments_rejected(self):
+        fragments = rs_encode(b"data", k=3, n=5)
+        with pytest.raises(ValueError):
+            rs_decode({0: fragments[0]}, 3, 4)
+
+    def test_inconsistent_lengths_rejected(self):
+        fragments = rs_encode(b"data!", k=2, n=4)
+        with pytest.raises(ValueError):
+            rs_decode({0: fragments[0], 1: fragments[1] + b"x"}, 2, 5)
+
+    @settings(max_examples=40)
+    @given(
+        st.binary(min_size=0, max_size=300),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_roundtrip_random_erasures(self, data, k, seed):
+        rng = random.Random(seed)
+        n = k + rng.randrange(0, 8)
+        fragments = rs_encode(data, k, n)
+        chosen_indices = rng.sample(range(n), k)
+        chosen = {j: fragments[j] for j in chosen_indices}
+        assert rs_decode(chosen, k, len(data)) == data
+
+    def test_extra_fragments_harmless(self):
+        data = b"payload bytes here"
+        fragments = rs_encode(data, k=2, n=6)
+        all_of_them = dict(enumerate(fragments))
+        assert rs_decode(all_of_them, 2, len(data)) == data

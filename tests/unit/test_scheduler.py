@@ -1,0 +1,112 @@
+"""Deterministic event-loop behaviour."""
+
+import pytest
+
+from repro.sim.scheduler import Scheduler
+
+
+class TestScheduler:
+    def test_time_ordering(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(3.0, lambda: fired.append(3))
+        sched.call_at(1.0, lambda: fired.append(1))
+        sched.call_at(2.0, lambda: fired.append(2))
+        sched.run()
+        assert fired == [1, 2, 3]
+
+    def test_fifo_tie_break(self):
+        sched = Scheduler()
+        fired = []
+        for i in range(10):
+            sched.call_at(1.0, lambda i=i: fired.append(i))
+        sched.run()
+        assert fired == list(range(10))
+
+    def test_now_advances(self):
+        sched = Scheduler()
+        seen = []
+        sched.call_at(5.0, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [5.0]
+        assert sched.now == 5.0
+
+    def test_call_later_relative(self):
+        sched = Scheduler()
+        seen = []
+        sched.call_at(2.0, lambda: sched.call_later(3.0, lambda: seen.append(sched.now)))
+        sched.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        sched = Scheduler()
+        sched.call_at(2.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().call_later(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.call_at(1.0, lambda: fired.append("cancelled"))
+        sched.call_at(2.0, lambda: fired.append("kept"))
+        sched.cancel(handle)
+        sched.run()
+        assert fired == ["kept"]
+
+    def test_run_until(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(1.0, lambda: fired.append(1))
+        sched.call_at(10.0, lambda: fired.append(10))
+        sched.run(until=5.0)
+        assert fired == [1]
+        assert sched.now == 5.0
+        sched.run()
+        assert fired == [1, 10]
+
+    def test_max_events(self):
+        sched = Scheduler()
+        fired = []
+        for i in range(5):
+            sched.call_at(float(i), lambda i=i: fired.append(i))
+        sched.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_when(self):
+        sched = Scheduler()
+        fired = []
+        for i in range(5):
+            sched.call_at(float(i), lambda i=i: fired.append(i))
+        sched.run(stop_when=lambda: len(fired) >= 2)
+        assert fired == [0, 1]
+
+    def test_events_created_during_run(self):
+        sched = Scheduler()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sched.call_later(1.0, lambda: chain(depth + 1))
+
+        sched.call_at(0.0, lambda: chain(0))
+        sched.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_pending_count(self):
+        sched = Scheduler()
+        h1 = sched.call_at(1.0, lambda: None)
+        sched.call_at(2.0, lambda: None)
+        assert sched.pending == 2
+        sched.cancel(h1)
+        assert sched.pending == 1
+
+    def test_empty_run_is_noop(self):
+        sched = Scheduler()
+        sched.run()
+        assert sched.events_processed == 0

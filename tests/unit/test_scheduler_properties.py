@@ -1,0 +1,57 @@
+"""Property-based fuzzing of the scheduler and sampled gossip costs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.scheduler import Scheduler
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=60)
+    @given(st.lists(st.floats(min_value=0, max_value=100), max_size=40))
+    def test_events_fire_in_time_order(self, delays):
+        sched = Scheduler()
+        fired = []
+        for delay in delays:
+            sched.call_at(delay, lambda d=delay: fired.append(d))
+        sched.run()
+        assert fired == sorted(delays)
+        assert len(fired) == len(delays)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=10), st.booleans()),
+            max_size=30,
+        )
+    )
+    def test_cancellation_never_fires(self, items):
+        sched = Scheduler()
+        fired = []
+        handles = []
+        for i, (delay, cancel) in enumerate(items):
+            handles.append(
+                (sched.call_at(delay, lambda i=i: fired.append(i)), cancel)
+            )
+        for handle, cancel in handles:
+            if cancel:
+                sched.cancel(handle)
+        sched.run()
+        expected = [i for i, (_, cancel) in enumerate(items) if not cancel]
+        assert sorted(fired) == expected
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0.01, max_value=5), min_size=1, max_size=15))
+    def test_nested_scheduling_keeps_clock_monotone(self, delays):
+        sched = Scheduler()
+        seen = []
+
+        def chain(remaining):
+            seen.append(sched.now)
+            if remaining:
+                sched.call_later(remaining[0], lambda: chain(remaining[1:]))
+
+        sched.call_at(0.0, lambda: chain(delays))
+        sched.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays) + 1

@@ -1,0 +1,96 @@
+"""Shamir secret sharing: reconstruction and information-theoretic secrecy."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SecretSharingError
+from repro.crypto.shamir import (
+    PRIME,
+    lagrange_interpolate_at_zero,
+    reconstruct_secret,
+    share_secret,
+)
+
+
+class TestSharing:
+    def test_basic_roundtrip(self):
+        rng = random.Random(1)
+        shares = share_secret(42, threshold=3, n=7, rng=rng)
+        assert reconstruct_secret(shares[:3], 3) == 42
+
+    def test_any_subset_reconstructs(self):
+        rng = random.Random(2)
+        secret = 987654321
+        shares = share_secret(secret, threshold=3, n=7, rng=rng)
+        for _ in range(20):
+            subset = rng.sample(shares, 3)
+            assert reconstruct_secret(subset, 3) == secret
+
+    def test_threshold_one_is_replication(self):
+        rng = random.Random(3)
+        shares = share_secret(5, threshold=1, n=4, rng=rng)
+        for share in shares:
+            assert reconstruct_secret([share], 1) == 5
+
+    def test_too_few_shares_rejected(self):
+        rng = random.Random(4)
+        shares = share_secret(5, threshold=3, n=4, rng=rng)
+        with pytest.raises(SecretSharingError):
+            reconstruct_secret(shares[:2], 3)
+
+    def test_bad_threshold_rejected(self):
+        rng = random.Random(5)
+        with pytest.raises(SecretSharingError):
+            share_secret(5, threshold=0, n=4, rng=rng)
+        with pytest.raises(SecretSharingError):
+            share_secret(5, threshold=5, n=4, rng=rng)
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(SecretSharingError):
+            lagrange_interpolate_at_zero([(1, 5), (1, 6)])
+
+    def test_secret_reduced_mod_prime(self):
+        rng = random.Random(6)
+        shares = share_secret(PRIME + 7, threshold=2, n=4, rng=rng)
+        assert reconstruct_secret(shares[:2], 2) == 7
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=0, max_value=PRIME - 1),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_roundtrip_property(self, secret, threshold, seed):
+        rng = random.Random(seed)
+        n = threshold + rng.randrange(0, 4)
+        shares = share_secret(secret, threshold, n, rng)
+        subset = rng.sample(shares, threshold)
+        assert reconstruct_secret(subset, threshold) == secret
+
+
+class TestSecrecy:
+    def test_t_minus_one_shares_consistent_with_any_secret(self):
+        """Information-theoretic secrecy: t-1 shares fit every candidate secret.
+
+        For any t-1 shares there exists a degree-(t-1) polynomial through
+        them and any chosen constant term — so they reveal nothing.
+        """
+        rng = random.Random(7)
+        threshold = 3
+        shares = share_secret(1111, threshold, 7, rng)
+        partial = shares[:threshold - 1]
+        for candidate in (0, 1, 999, PRIME - 1):
+            # Interpolating partial + (0, candidate) always succeeds and is
+            # consistent: the resulting polynomial passes through all points.
+            points = [(0, candidate)] + [(x, y) for x, y in partial]
+            value = lagrange_interpolate_at_zero(points)
+            assert value == candidate
+
+    def test_distinct_secrets_give_distinct_share_sets(self):
+        rng1, rng2 = random.Random(8), random.Random(8)
+        shares_a = share_secret(1, 2, 4, rng1)
+        shares_b = share_secret(2, 2, 4, rng2)
+        assert shares_a != shares_b

@@ -1,0 +1,94 @@
+"""Baseline SMR wrapper: concurrent slots, sequential output."""
+
+import pytest
+
+from repro.baselines.smr import SmrNode
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.sim.adversary import UniformDelay
+from repro.sim.network import Network
+from repro.sim.scheduler import Scheduler
+
+
+def run_smr(protocol, n=4, seed=0, slots=5, window=None, max_events=600_000):
+    config = SystemConfig(n=n, seed=seed)
+    sched = Scheduler()
+    network = Network(sched, config, UniformDelay(derive_rng(seed, "d")))
+    nodes = [
+        SmrNode(pid, network, protocol=protocol, max_slots=slots, window=window)
+        for pid in range(n)
+    ]
+    for node in nodes:
+        sched.call_at(0.0, node.start)
+    sched.run(
+        max_events=max_events,
+        stop_when=lambda: all(node.output_count >= slots for node in nodes),
+    )
+    return nodes, network
+
+
+@pytest.mark.parametrize("protocol", ["vaba", "dumbo", "honeybadger"])
+class TestSmr:
+    def test_all_slots_output(self, protocol):
+        nodes, _net = run_smr(protocol)
+        assert all(node.output_count >= 5 for node in nodes)
+
+    def test_agreement_per_slot(self, protocol):
+        nodes, _net = run_smr(protocol, seed=1)
+        for slot in range(5):
+            values = {
+                tuple((b.proposer, b.sequence) for b in node.outputs[slot].blocks)
+                for node in nodes
+            }
+            assert len(values) == 1
+
+    def test_outputs_strictly_slot_ordered(self, protocol):
+        nodes, _net = run_smr(protocol, seed=2)
+        for node in nodes:
+            slots = [output.slot for output in node.outputs]
+            assert slots == list(range(len(slots)))
+
+    def test_output_time_at_least_decide_time(self, protocol):
+        nodes, _net = run_smr(protocol, seed=3)
+        for node in nodes:
+            for output in node.outputs:
+                assert output.output_time >= output.decided_time
+
+
+class TestSmrMechanics:
+    def test_window_limits_open_slots(self):
+        config = SystemConfig(n=4, seed=0)
+        sched = Scheduler()
+        network = Network(sched, config, UniformDelay(derive_rng(0, "d")))
+        nodes = [
+            SmrNode(pid, network, protocol="vaba", window=2, max_slots=10)
+            for pid in range(4)
+        ]
+        nodes[0].start()
+        assert nodes[0]._proposed == {0, 1}
+
+    def test_unknown_protocol_rejected(self):
+        config = SystemConfig(n=4, seed=0)
+        sched = Scheduler()
+        network = Network(sched, config, UniformDelay(derive_rng(0, "d")))
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SmrNode(0, network, protocol="nope")
+
+    def test_head_of_line_blocking(self):
+        """A decided later slot is not output before earlier slots decide.
+
+        This is the structural source of the O(log n) time complexity.
+        """
+        nodes, _net = run_smr("vaba", seed=5, slots=8, window=8)
+        for node in nodes:
+            # outputs are contiguous from 0 even though decisions raced
+            slots = [output.slot for output in node.outputs]
+            assert slots == sorted(slots)
+            assert slots[0] == 0
+
+    def test_ordered_blocks_flatten(self):
+        nodes, _net = run_smr("honeybadger", seed=6, slots=3)
+        blocks = nodes[0].ordered_blocks()
+        assert len(blocks) >= 3  # at least one block per slot

@@ -1,0 +1,81 @@
+"""VABA's multi-view path: leader suppression forces view changes."""
+
+from repro.baselines.smr import SlotMessage, SmrNode
+from repro.baselines.vaba import VabaMessage, VabaSlot
+from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
+from repro.mempool.blocks import Block
+from repro.sim.adversary import GroupVictimDelay, UniformDelay
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+
+
+class Host(Process):
+    def __init__(self, pid, network, elect):
+        super().__init__(pid, network)
+        self.decided = None
+        self.slot = VabaSlot(
+            pid, network.config, elect, self.send, self.broadcast,
+            on_decide=lambda v: setattr(self, "decided", v),
+        )
+
+    def on_message(self, src, message):
+        self.slot.handle(src, message)
+
+
+def run_suppressed(seed=0):
+    """Delay one fixed process's messages; when elected, views must advance."""
+    config = SystemConfig(n=4, seed=seed)
+    sched = Scheduler()
+    adversary = GroupVictimDelay(
+        UniformDelay(derive_rng(seed, "d"), 0.1, 1.0),
+        n=4,
+        victims=1,
+        seed=seed,
+        group_of=lambda msg: 0,  # one global group: same victim throughout
+        penalty=15.0,
+    )
+    network = Network(sched, config, adversary)
+    (victim,) = adversary.victims_of(0)
+    # Elect the victim in view 1, someone else in view 2.
+    elect = lambda view: victim if view == 1 else (victim + 1) % 4
+    hosts = [Host(pid, network, elect) for pid in range(4)]
+    for host in hosts:
+        value = Block(host.pid, 0, (b"v%d" % host.pid,))
+        sched.call_at(0.0, lambda h=host, v=value: h.slot.propose(v))
+    sched.run(max_events=300_000)
+    return hosts, victim
+
+
+class TestViewChange:
+    def test_suppressed_leader_forces_second_view(self):
+        hosts, victim = run_suppressed(seed=1)
+        non_victims = [h for h in hosts if h.pid != victim]
+        assert all(h.decided is not None for h in non_victims)
+        assert max(h.slot.views_used for h in non_victims) >= 2
+
+    def test_agreement_across_views(self):
+        hosts, victim = run_suppressed(seed=2)
+        decided = {h.decided.digest for h in hosts if h.decided is not None}
+        assert len(decided) == 1
+
+    def test_adopted_value_was_proposed(self):
+        hosts, victim = run_suppressed(seed=3)
+        proposals = {
+            Block(pid, 0, (b"v%d" % pid,)).digest for pid in range(4)
+        }
+        for host in hosts:
+            if host.decided is not None:
+                assert host.decided.digest in proposals
+
+    def test_decide_message_short_circuits_laggards(self):
+        """A DECIDE echo lets a process that saw nothing else decide."""
+        config = SystemConfig(n=4, seed=4)
+        sched = Scheduler()
+        network = Network(sched, config, UniformDelay(derive_rng(4, "d")))
+        hosts = [Host(pid, network, lambda view: 0) for pid in range(4)]
+        value = Block(0, 0, (b"x",))
+        hosts[0].send(1, VabaMessage("DECIDE", 1, 0, value))
+        sched.run()
+        assert hosts[1].decided == value

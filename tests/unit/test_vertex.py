@@ -1,0 +1,99 @@
+"""Vertex struct and its canonical codec (Algorithm 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import WireFormatError
+from repro.dag.vertex import Ref, Vertex, genesis_vertices
+from repro.mempool.blocks import Block
+
+
+def vertex_strategy():
+    return st.builds(
+        Vertex,
+        round=st.integers(min_value=2, max_value=1000),
+        source=st.integers(min_value=0, max_value=50),
+        block=st.builds(
+            Block,
+            proposer=st.integers(min_value=0, max_value=50),
+            sequence=st.integers(min_value=0, max_value=10_000),
+            transactions=st.lists(st.binary(max_size=30), max_size=4).map(tuple),
+        ),
+        strong_parents=st.sets(st.integers(min_value=0, max_value=50), max_size=8).map(
+            frozenset
+        ),
+        weak_parents=st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=100),
+            ).map(lambda t: Ref(*t)),
+            max_size=4,
+        ).map(frozenset),
+        coin_share=st.one_of(st.none(), st.integers(min_value=0, max_value=2**128 - 1)),
+    )
+
+
+class TestVertexCodec:
+    def test_roundtrip_simple(self):
+        vertex = Vertex(3, 1, Block(1, 3, (b"tx",)), frozenset({0, 1, 2}))
+        assert Vertex.from_bytes(vertex.to_bytes()) == vertex
+
+    def test_roundtrip_with_weak_edges_and_share(self):
+        vertex = Vertex(
+            9,
+            2,
+            Block(2, 9),
+            frozenset({0, 1, 3}),
+            frozenset({Ref(2, 3), Ref(0, 1)}),
+            coin_share=12345678901234567890,
+        )
+        assert Vertex.from_bytes(vertex.to_bytes()) == vertex
+
+    @given(vertex_strategy())
+    def test_roundtrip_property(self, vertex):
+        assert Vertex.from_bytes(vertex.to_bytes()) == vertex
+
+    def test_trailing_bytes_rejected(self):
+        data = Vertex(1, 0, Block(0, 1), frozenset({0})).to_bytes()
+        with pytest.raises(WireFormatError):
+            Vertex.from_bytes(data + b"\x00")
+
+    def test_truncated_rejected(self):
+        data = Vertex(1, 0, Block(0, 1), frozenset({0, 1})).to_bytes()
+        with pytest.raises(WireFormatError):
+            Vertex.from_bytes(data[:5])
+
+    def test_bad_share_flag_rejected(self):
+        data = bytearray(Vertex(1, 0, Block(0, 1), frozenset({0})).to_bytes())
+        # The flag byte sits right after the fixed header + one strong parent.
+        flag_offset = 8 + 2 + 2 + 2 + 2
+        assert data[flag_offset] == 0
+        data[flag_offset] = 9
+        with pytest.raises(WireFormatError):
+            Vertex.from_bytes(bytes(data))
+
+    def test_digest_changes_with_content(self):
+        a = Vertex(1, 0, Block(0, 1, (b"a",)), frozenset({0}))
+        b = Vertex(1, 0, Block(0, 1, (b"b",)), frozenset({0}))
+        assert a.digest != b.digest
+
+
+class TestVertexStructure:
+    def test_parent_refs_order_and_rounds(self):
+        vertex = Vertex(
+            5, 0, Block(0, 5), frozenset({2, 0, 1}), frozenset({Ref(3, 1)})
+        )
+        refs = vertex.parent_refs()
+        assert refs[:3] == [Ref(0, 4), Ref(1, 4), Ref(2, 4)]
+        assert refs[3] == Ref(3, 1)
+
+    def test_ref(self):
+        vertex = Vertex(5, 2, Block(2, 5), frozenset({0}))
+        assert vertex.ref == Ref(2, 5)
+
+    def test_genesis(self):
+        genesis = genesis_vertices(3)
+        assert [v.source for v in genesis] == [0, 1, 2]
+        assert all(v.round == 0 for v in genesis)
+        assert all(not v.strong_parents and not v.weak_parents for v in genesis)
