@@ -35,6 +35,13 @@ async def main() -> None:
         )
     first = cluster.nodes[0].ordered[:4]
     print("first deliveries:", [(e.round, e.source) for e in first])
+    report = cluster.link_report()
+    print(
+        "reliable links: "
+        f"{report['frames_sent']} frames, {report['acks_sent']} acks, "
+        f"{report['reconnects']} reconnects, {report['redeliveries']} "
+        f"redeliveries, {report['control_bits']:,} control bits"
+    )
     print("total order across all four nodes: OK")
 
 

@@ -1,0 +1,39 @@
+"""Link-control frames for the TCP runtime's reliable links.
+
+These are transport-plumbing messages — cumulative acknowledgements and
+liveness heartbeats exchanged by :mod:`repro.runtime.reliable` — not part of
+the DAG-Rider protocol. They live in the codec package (rather than
+``repro.runtime``) so the type-tag registry can encode them without an
+import cycle through the runtime package.
+
+Their bits are accounted in :class:`repro.runtime.reliable.LinkStats`
+(``control_bits``), never in :class:`repro.sim.metrics.MetricsCollector`,
+so the paper's §3 communication-complexity numbers are unaffected by the
+reliability layer's overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.wire import BITS_PER_TAG, Message
+
+
+@dataclass(frozen=True)
+class LinkAck(Message):
+    """Cumulative ack: every data frame with ``seq <= cumulative`` arrived."""
+
+    cumulative: int
+
+    def wire_size(self, n: int) -> int:
+        return BITS_PER_TAG + 64
+
+
+@dataclass(frozen=True)
+class LinkHeartbeat(Message):
+    """Keep-alive probe sent on idle links; the peer answers with an ack."""
+
+    nonce: int
+
+    def wire_size(self, n: int) -> int:
+        return BITS_PER_TAG + 64

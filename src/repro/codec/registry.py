@@ -21,6 +21,7 @@ from repro.broadcast.avid import AvidMessage
 from repro.broadcast.base import Payload
 from repro.broadcast.bracha import BrachaMessage
 from repro.broadcast.gossip import GossipMessage, GossipSubscribe
+from repro.codec.frames import LinkAck, LinkHeartbeat
 from repro.codec.primitives import (
     Reader,
     encode_bool,
@@ -218,6 +219,22 @@ def _enc_slot(msg: SlotMessage) -> bytes:
     return encode_uint(msg.slot, 8) + encode_message(msg.inner)
 
 
+def _enc_link_ack(msg: LinkAck) -> bytes:
+    return encode_uint(msg.cumulative, 8)
+
+
+def _dec_link_ack(reader: Reader) -> LinkAck:
+    return LinkAck(reader.uint(8))
+
+
+def _enc_link_heartbeat(msg: LinkHeartbeat) -> bytes:
+    return encode_uint(msg.nonce, 8)
+
+
+def _dec_link_heartbeat(reader: Reader) -> LinkHeartbeat:
+    return LinkHeartbeat(reader.uint(8))
+
+
 def _dec_slot(reader: Reader) -> SlotMessage:
     slot = reader.uint(8)
     inner = _decode_from_reader(reader)
@@ -237,6 +254,8 @@ _REGISTRY: dict[type, tuple[int, Callable]] = {
     VabaMessage: (8, _enc_vaba),
     DispersalMessage: (9, _enc_dispersal),
     SlotMessage: (10, _enc_slot),
+    LinkAck: (11, _enc_link_ack),
+    LinkHeartbeat: (12, _enc_link_heartbeat),
 }
 
 _DECODERS: dict[int, Callable[[Reader], Message]] = {
@@ -250,6 +269,8 @@ _DECODERS: dict[int, Callable[[Reader], Message]] = {
     8: _dec_vaba,
     9: _dec_dispersal,
     10: _dec_slot,
+    11: _dec_link_ack,
+    12: _dec_link_heartbeat,
 }
 
 

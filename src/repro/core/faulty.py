@@ -13,6 +13,10 @@ leaders); what remains is what these nodes exercise:
   vertices for the same round, each sent to half the network. Reliable
   broadcast must prevent both from delivering (Integrity), so at most one
   enters any correct DAG.
+* :class:`RecoveringNode` — a benign crash-recovery fault: the process
+  stops at a configured round, then comes back after ``downtime`` and
+  replays the backlog its reliable links held for it — the sim-side
+  analogue of the TCP runtime's ack-based redelivery.
 """
 
 from __future__ import annotations
@@ -42,6 +46,55 @@ class CrashNode(DagRiderNode):
             return
         super().on_message(src, message)
         self._check_crash()
+
+
+class RecoveringNode(DagRiderNode):
+    """Crashes at ``crash_round`` and recovers ``downtime`` later.
+
+    Models a *correct* process that restarts, under the paper's §2 reliable
+    links: traffic sent to it while down is not lost but held (here:
+    buffered) and delivered once it is back — exactly what the TCP
+    runtime's reliable-link layer provides with unacked-frame redelivery.
+    On recovery the backlog replays in arrival order, the process catches
+    up on missed rounds, and its late vertices rejoin every correct DAG
+    through other processes' weak edges, so BAB Validity still covers its
+    post-recovery proposals.
+    """
+
+    def __init__(
+        self, *args, crash_round: int = 3, downtime: float = 30.0, **kwargs
+    ):
+        super().__init__(*args, **kwargs)
+        self._crash_round = crash_round
+        self._downtime = downtime
+        self._backlog: list[tuple[int, Message]] = []
+        self.down = False
+        self.recovered = False
+        self.replayed = 0
+
+    def on_message(self, src: int, message: Message) -> None:
+        if (
+            not self.down
+            and not self.recovered
+            and self.builder.round >= self._crash_round
+        ):
+            self._go_down()
+        if self.down:
+            self._backlog.append((src, message))
+            return
+        super().on_message(src, message)
+
+    def _go_down(self) -> None:
+        self.down = True
+        self.call_later(self._downtime, self._recover)
+
+    def _recover(self) -> None:
+        self.down = False
+        self.recovered = True
+        backlog, self._backlog = self._backlog, []
+        self.replayed += len(backlog)
+        for src, message in backlog:
+            super().on_message(src, message)
 
 
 class SilentNode(DagRiderNode):

@@ -11,11 +11,32 @@ the protocol logic depends on the simulator.
   ``broadcast`` / ``scheduler.now`` / ``scheduler.call_later``), framing
   every message with the canonical binary codec of :mod:`repro.codec`
   (no pickle on the wire).
+* :mod:`repro.runtime.reliable` — the reliable-link layer under the
+  transport: per-peer sequenced queues, ack-based redelivery, seeded
+  exponential backoff, heartbeats, and degraded-peer bounding, restoring
+  the paper's §2 reliable-link assumption on real sockets.
+* :mod:`repro.runtime.chaos` — seeded, deterministic fault injection
+  (drops, duplicates, delays, severed connections, dial failures) for
+  robustness tests and examples.
 * :mod:`repro.runtime.cluster` — helpers to boot an n-node cluster on
   localhost ports inside one asyncio loop and await delivery predicates.
+
+See ``docs/runtime.md`` for the full design.
 """
 
+from repro.runtime.chaos import ChaosConfig, ChaosTransport, FrameFate
 from repro.runtime.cluster import LocalCluster
+from repro.runtime.reliable import LinkConfig, LinkStats, ReliableLink
 from repro.runtime.transport import AsyncScheduler, TcpNetwork
 
-__all__ = ["AsyncScheduler", "LocalCluster", "TcpNetwork"]
+__all__ = [
+    "AsyncScheduler",
+    "ChaosConfig",
+    "ChaosTransport",
+    "FrameFate",
+    "LinkConfig",
+    "LinkStats",
+    "LocalCluster",
+    "ReliableLink",
+    "TcpNetwork",
+]

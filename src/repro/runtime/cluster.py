@@ -2,13 +2,18 @@
 
 from __future__ import annotations
 
+from collections import Counter
+from typing import TYPE_CHECKING, Callable
+
 import asyncio
-from typing import Callable
 
 from repro.common.config import SystemConfig
 from repro.core.node import DagRiderNode
 from repro.crypto.dealer import CoinDealer
-from repro.runtime.transport import TcpNetwork
+from repro.runtime.transport import LinkConfig, TcpNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.chaos import ChaosTransport
 
 
 class LocalCluster:
@@ -20,6 +25,10 @@ class LocalCluster:
         asyncio.run(cluster.run_until(lambda: all(
             len(node.ordered) >= 10 for node in cluster.nodes
         ), timeout=30.0))
+
+    Pass ``chaos`` (a :class:`repro.runtime.chaos.ChaosTransport`) to inject
+    seeded faults on every link, and ``link_config`` to tune the reliable
+    links' backoff/heartbeat/degradation knobs.
     """
 
     def __init__(
@@ -28,6 +37,8 @@ class LocalCluster:
         base_port: int = 9100,
         host: str = "127.0.0.1",
         coin_mode: str = "ideal",
+        link_config: LinkConfig | None = None,
+        chaos: "ChaosTransport | None" = None,
         **node_kwargs,
     ):
         self.config = config
@@ -35,18 +46,26 @@ class LocalCluster:
             pid: (host, base_port + pid) for pid in config.processes
         }
         self._coin_mode = coin_mode
+        self._link_config = link_config
+        self._chaos = chaos
         self._node_kwargs = node_kwargs
+        self._stopped = False
         self.networks: list[TcpNetwork] = []
         self.nodes: list[DagRiderNode] = []
 
     async def start(self) -> None:
         """Bind sockets and start every node's protocol."""
-        loop = asyncio.get_running_loop()
         dealer = None
         if self._coin_mode != "ideal":
             dealer = CoinDealer(self.config.seed, self.config.n, self.config.small_quorum)
         for pid in self.config.processes:
-            network = TcpNetwork(self.config, pid, self.peers, loop)
+            network = TcpNetwork(
+                self.config,
+                pid,
+                self.peers,
+                link_config=self._link_config,
+                chaos=self._chaos,
+            )
             await network.start()
             self.networks.append(network)
             self.nodes.append(
@@ -62,7 +81,14 @@ class LocalCluster:
             node.start()
 
     async def stop(self) -> None:
-        """Close every socket."""
+        """Close every socket and background task; safe to call repeatedly."""
+        if self._stopped:
+            return
+        self._stopped = True
+        # Quiesce every node's outbound links before closing any server, so
+        # survivors don't spend teardown reconnecting to half-closed peers.
+        for network in self.networks:
+            await network.close_links()
         for network in self.networks:
             await network.close()
 
@@ -81,6 +107,25 @@ class LocalCluster:
             return predicate()
         finally:
             await self.stop()
+
+    def sever_all_connections(self) -> int:
+        """Cut every live TCP connection in the cluster (fault injection)."""
+        return sum(network.sever_connections() for network in self.networks)
+
+    def link_report(self) -> dict[str, object]:
+        """Aggregate reliable-link counters across every node."""
+        totals: Counter = Counter()
+        degraded: set[int] = set()
+        depth = 0
+        for network in self.networks:
+            for key, value in network.link_stats.as_dict().items():
+                totals[key] += value
+            degraded |= network.degraded_peers
+            depth += network.queue_depth
+        report: dict[str, object] = dict(totals)
+        report["queue_depth"] = depth
+        report["degraded_peers"] = sorted(degraded)
+        return report
 
     def check_total_order(self) -> None:
         """Prefix-consistency across all nodes' delivery logs."""

@@ -1,10 +1,13 @@
 """Asyncio TCP transport with the simulator network's duck interface.
 
 One :class:`TcpNetwork` per node: it binds the node's listening socket,
-dials peers lazily, frames messages as ``4-byte length || canonical codec``
-(:mod:`repro.codec` — no pickle on the wire), and authenticates the sender
-with a one-byte-pid handshake (adequate for a localhost demo; a deployment
-would wrap the stream in TLS/noise).
+dials peers through :class:`repro.runtime.reliable.ReliableLink` (per-peer
+outbound queues, sequence numbers, ack-based redelivery, backoff,
+heartbeats), frames messages as ``4-byte length || 8-byte seq || canonical
+codec`` (:mod:`repro.codec` — no pickle on the wire), and authenticates the
+sender with a one-byte-pid handshake validated against the configuration
+(adequate for a localhost demo; a deployment would wrap the stream in
+TLS/noise — see ROADMAP).
 
 The pieces :class:`repro.core.node.DagRiderNode` actually touches are kept
 signature-compatible with :class:`repro.sim.network.Network`:
@@ -12,24 +15,37 @@ signature-compatible with :class:`repro.sim.network.Network`:
 * ``network.config`` / ``network.register(process)``
 * ``network.send(src, dst, message)`` / ``network.broadcast(src, message)``
 * ``network.scheduler.now`` / ``network.scheduler.call_later(delay, cb)``
-* ``network.metrics`` (same §3 bit accounting, fed by ``wire_size``)
+* ``network.metrics`` (same §3 bit accounting, fed by ``wire_size``; the
+  reliability layer's retransmissions and ack/heartbeat traffic are
+  tallied separately in ``network.link_stats``)
 """
 
 from __future__ import annotations
 
 import asyncio
-import struct
+import contextlib
 from typing import TYPE_CHECKING
 
 from repro.codec import decode_message, encode_message
+from repro.codec.frames import LinkAck, LinkHeartbeat
 from repro.common.config import SystemConfig
+from repro.common.errors import WireFormatError
+from repro.runtime.reliable import (
+    CONNECTION_ERRORS,
+    CONTROL_SEQ,
+    HEADER,
+    SEQ,
+    LinkConfig,
+    LinkStats,
+    ReliableLink,
+    frame_bytes,
+)
 from repro.sim.metrics import MetricsCollector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.chaos import ChaosTransport
     from repro.sim.process import Process
     from repro.sim.wire import Message
-
-_HEADER = struct.Struct(">I")
 
 
 class AsyncScheduler:
@@ -60,8 +76,21 @@ class AsyncScheduler:
             handle.cancel()
 
 
+class _Inbound:
+    """One live accepted connection from a peer."""
+
+    __slots__ = ("writer",)
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+
+
 class TcpNetwork:
-    """One node's view of the cluster over TCP."""
+    """One node's view of the cluster over TCP, with reliable links.
+
+    Must be constructed inside a running asyncio loop (or be handed one
+    explicitly via ``loop``).
+    """
 
     def __init__(
         self,
@@ -69,18 +98,25 @@ class TcpNetwork:
         pid: int,
         peers: dict[int, tuple[str, int]],
         loop: asyncio.AbstractEventLoop | None = None,
+        link_config: LinkConfig | None = None,
+        chaos: "ChaosTransport | None" = None,
     ):
         self.config = config
         self.pid = pid
         self.peers = peers
-        loop = loop or asyncio.get_event_loop()
+        loop = loop if loop is not None else asyncio.get_running_loop()
         self.scheduler = AsyncScheduler(loop)
         self.metrics = MetricsCollector()
+        self.link_config = link_config if link_config is not None else LinkConfig()
+        self.link_stats = LinkStats()
+        self.chaos = chaos
         self._loop = loop
         self._process: "Process | None" = None
         self._server: asyncio.AbstractServer | None = None
-        self._writers: dict[int, asyncio.StreamWriter] = {}
-        self._dial_locks: dict[int, asyncio.Lock] = {}
+        self._links: dict[int, ReliableLink] = {}
+        self._inbound: dict[int, _Inbound] = {}
+        self._recv_cursor: dict[int, int] = {}  # survives reconnects
+        self._accept_tasks: set[asyncio.Task] = set()
         self._closed = False
 
     # ------------------------------------------------------- node interface
@@ -104,11 +140,62 @@ class TcpNetwork:
         self.metrics.record_send(
             src, message.wire_size(self.config.n), message.tag(), True
         )
-        self._loop.create_task(self._send_async(dst, message))
+        self._link_for(dst).enqueue(message)
 
     def broadcast(self, src: int, message: "Message") -> None:
         for dst in self.config.processes:
             self.send(src, dst, message)
+
+    # ----------------------------------------------------------- robustness
+
+    def _link_for(self, dst: int) -> ReliableLink:
+        link = self._links.get(dst)
+        if link is None:
+            link = ReliableLink(
+                pid=self.pid,
+                dst=dst,
+                addr=self.peers[dst],
+                loop=self._loop,
+                stats=self.link_stats,
+                config=self.link_config,
+                seed=self.config.seed,
+                n=self.config.n,
+                chaos=self.chaos,
+            )
+            self._links[dst] = link
+        return link
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames queued-but-unacked across all outbound links."""
+        return sum(link.queue_depth for link in self._links.values())
+
+    @property
+    def degraded_peers(self) -> frozenset[int]:
+        """Peers currently unreachable past the degradation threshold."""
+        return frozenset(
+            dst for dst, link in self._links.items() if link.degraded
+        )
+
+    def link_report(self) -> dict[str, object]:
+        """Robustness counters plus live queue/degradation state."""
+        report: dict[str, object] = dict(self.link_stats.as_dict())
+        report["queue_depth"] = self.queue_depth
+        report["degraded_peers"] = sorted(self.degraded_peers)
+        return report
+
+    def sever_connections(self) -> int:
+        """Forcibly cut every live connection of this node (fault injection).
+
+        Outbound links redial and redeliver; inbound peers do the same from
+        their side. Returns the number of connections cut.
+        """
+        cut = sum(link.sever() for link in self._links.values())
+        for state in list(self._inbound.values()):
+            if not state.writer.is_closing():
+                state.writer.close()
+                cut += 1
+        return cut
 
     # ------------------------------------------------------------ lifecycle
 
@@ -117,60 +204,109 @@ class TcpNetwork:
         host, port = self.peers[self.pid]
         self._server = await asyncio.start_server(self._accept, host, port)
 
+    async def close_links(self) -> None:
+        """Stop the outbound reliable links only (first phase of shutdown).
+
+        Closing a cluster one whole node at a time makes the survivors'
+        links reconnect to the nodes not yet closed; quiescing every node's
+        outbound side first keeps teardown free of reconnect noise.
+        """
+        for link in self._links.values():
+            await link.close()
+
     async def close(self) -> None:
+        """Stop links, the server, and every accepted connection; idempotent."""
+        if self._closed:
+            return
         self._closed = True
+        await self.close_links()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for writer in self._writers.values():
-            writer.close()
+            self._server = None
+        # Closing inbound writers unblocks their handler tasks' reads.
+        for state in list(self._inbound.values()):
+            state.writer.close()
+        for task in list(self._accept_tasks):
+            task.cancel()
+        for task in list(self._accept_tasks):
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._accept_tasks.clear()
+        self._inbound.clear()
 
     # ------------------------------------------------------------- plumbing
 
-    async def _send_async(self, dst: int, message: "Message") -> None:
-        try:
-            writer = await self._writer_for(dst)
-            payload = encode_message(message)
-            writer.write(_HEADER.pack(len(payload)) + payload)
-            await writer.drain()
-        except (ConnectionError, OSError):
-            self._writers.pop(dst, None)  # peer down; BAB tolerates loss of f
-
-    async def _writer_for(self, dst: int) -> asyncio.StreamWriter:
-        writer = self._writers.get(dst)
-        if writer is not None and not writer.is_closing():
-            return writer
-        lock = self._dial_locks.setdefault(dst, asyncio.Lock())
-        async with lock:
-            writer = self._writers.get(dst)
-            if writer is not None and not writer.is_closing():
-                return writer
-            host, port = self.peers[dst]
-            _reader, writer = await asyncio.open_connection(host, port)
-            writer.write(bytes([self.pid]))  # sender handshake
-            await writer.drain()
-            self._writers[dst] = writer
-            return writer
+    def _valid_handshake(self, src: int) -> bool:
+        return 0 <= src < self.config.n and src != self.pid
 
     async def _accept(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._accept_tasks.add(task)
+        state = _Inbound(writer)
+        src = -1
         try:
             src = (await reader.readexactly(1))[0]
+            if not self._valid_handshake(src):
+                # Never trust an out-of-range (or self-addressed) pid byte.
+                self.link_stats.handshake_rejects += 1
+                return
+            prior = self._inbound.get(src)
+            if prior is not None:
+                # At most one live inbound connection per peer: a fresh
+                # handshake supersedes the stale one (the reconnect path).
+                self.link_stats.superseded_connections += 1
+                prior.writer.close()
+            self._inbound[src] = state
             while not self._closed:
-                (length,) = _HEADER.unpack(await reader.readexactly(_HEADER.size))
-                payload = await reader.readexactly(length)
-                message = decode_message(payload)
-                self._deliver(src, message)
-        except (
-            asyncio.IncompleteReadError,
-            asyncio.CancelledError,
-            ConnectionError,
-            OSError,
-        ):
+                (length,) = HEADER.unpack(await reader.readexactly(HEADER.size))
+                body = await reader.readexactly(length)
+                if length < SEQ.size:
+                    raise WireFormatError("short link frame")
+                (seq,) = SEQ.unpack(body[: SEQ.size])
+                message = decode_message(body[SEQ.size :])
+                if seq == CONTROL_SEQ:
+                    if isinstance(message, LinkHeartbeat):
+                        await self._send_ack(src, writer)
+                    continue
+                cursor = self._recv_cursor.get(src, 0)
+                if seq <= cursor:
+                    # Redelivered after an ack was lost, or a chaos duplicate.
+                    self.link_stats.duplicates_dropped += 1
+                else:
+                    if seq > cursor + 1:
+                        # Only a degraded sender drops queued frames; record
+                        # the loss instead of stalling the link forever.
+                        self.link_stats.gaps += seq - cursor - 1
+                    self._recv_cursor[src] = seq
+                    self._deliver(src, message)
+                await self._send_ack(src, writer)
+        except CONNECTION_ERRORS:
+            pass
+        except asyncio.CancelledError:
+            pass
+        except WireFormatError:
+            # Garbage on the stream: cut the connection; the sender's
+            # reliable link redials and redelivers from the last ack.
             pass
         finally:
+            if task is not None:
+                self._accept_tasks.discard(task)
+            if src >= 0 and self._inbound.get(src) is state:
+                del self._inbound[src]
             writer.close()
+            with contextlib.suppress(*CONNECTION_ERRORS, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _send_ack(self, src: int, writer: asyncio.StreamWriter) -> None:
+        ack = LinkAck(self._recv_cursor.get(src, 0))
+        writer.write(frame_bytes(CONTROL_SEQ, encode_message(ack)))
+        await writer.drain()
+        self.link_stats.acks_sent += 1
+        self.link_stats.control_bits += ack.wire_size(self.config.n)
 
     def _deliver(self, src: int, message: "Message") -> None:
         if self._process is not None:

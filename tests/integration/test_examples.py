@@ -28,7 +28,13 @@ class TestExamples:
     def test_tcp_cluster(self, capsys):
         out = run_example("tcp_cluster.py", capsys)
         assert "target reached: True" in out
+        assert "reliable links:" in out
         assert "total order across all four nodes: OK" in out
+
+    def test_chaos_cluster(self, capsys):
+        out = run_example("chaos_cluster.py", capsys)
+        assert "target reached under chaos: True" in out
+        assert "prefix-consistent logs despite chaos: OK" in out
 
     @pytest.mark.slow
     def test_asynchrony_stress(self, capsys):

@@ -1,0 +1,83 @@
+"""Crash-recovery: a correct process restarts and rejoins via weak edges.
+
+:class:`repro.core.faulty.RecoveringNode` models the paper's §2 setting for
+a correct process that goes down temporarily: reliable links hold its
+inbound traffic (here: a backlog) and deliver it when it returns — the
+sim-side analogue of the TCP runtime's ack-based redelivery, which
+``tests/integration/test_chaos.py`` exercises on real sockets.
+"""
+
+from repro.common.config import SystemConfig
+from repro.core.faulty import RecoveringNode
+from repro.core.harness import DagRiderDeployment
+
+
+def recovering_deployment(seed, crash_round=3, downtime=40.0, n=4, pids=(3,)):
+    # The recovering process is *correct* (not in config.byzantine): it must
+    # end up in every safety check and run_until_ordered waits for it too.
+    config = SystemConfig(n=n, seed=seed)
+    return DagRiderDeployment(
+        config,
+        node_factories={pid: RecoveringNode for pid in pids},
+        node_kwargs={
+            pid: {"crash_round": crash_round, "downtime": downtime}
+            for pid in pids
+        },
+    )
+
+
+class TestCrashRecovery:
+    def test_recovers_replays_and_keeps_total_order(self):
+        dep = recovering_deployment(seed=21)
+        assert dep.run_until_ordered(30, max_events=900_000)
+        node = dep.nodes[3]
+        assert node.recovered
+        assert node.replayed > 0
+        # The recovered process is held to the same safety bar as everyone.
+        assert node in dep.correct_nodes
+        dep.check_total_order()
+        dep.check_integrity()
+
+    def test_rejoins_the_dag_through_weak_edges(self):
+        dep = recovering_deployment(seed=22, crash_round=3, downtime=40.0)
+        assert dep.run_until_ordered(30, max_events=900_000)
+        store = dep.nodes[0].store
+        post_recovery = [
+            vertex
+            for round_ in store.rounds()
+            for vertex in store.round(round_).values()
+            if vertex.source == 3 and vertex.round > 3
+        ]
+        # The restarted process's catch-up vertices entered other DAGs...
+        assert post_recovery
+        # ...and, arriving long after their rounds completed, they are only
+        # reachable through weak edges (Validity, §5).
+        weak_to_recovered = [
+            ref
+            for round_ in store.rounds()
+            for vertex in store.round(round_).values()
+            for ref in vertex.weak_parents
+            if ref.source == 3
+        ]
+        assert weak_to_recovered
+
+    def test_two_staggered_recoveries_in_n7(self):
+        dep = recovering_deployment(
+            seed=23, n=7, pids=(5, 6), crash_round=2, downtime=30.0
+        )
+        assert dep.run_until_ordered(25, max_events=1_500_000)
+        for pid in (5, 6):
+            assert dep.nodes[pid].recovered
+        dep.check_total_order()
+        dep.check_integrity()
+
+    def test_downtime_buffers_everything(self):
+        """While down, nothing is processed: the builder's round freezes,
+        then the replayed backlog catches it back up."""
+        dep = recovering_deployment(seed=24, crash_round=2, downtime=60.0)
+        assert dep.run_until_ordered(20, max_events=900_000)
+        node = dep.nodes[3]
+        assert node.recovered
+        # It caught up well past where it crashed.
+        assert node.builder.round > 2
+        assert len(node.ordered) >= 20

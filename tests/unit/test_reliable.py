@@ -1,0 +1,335 @@
+"""Reliable-link layer: framing, chaos determinism, acks, lifecycle."""
+
+import asyncio
+
+import pytest
+
+from repro.broadcast.gossip import GossipSubscribe
+from repro.codec import decode_message, encode_message
+from repro.codec.frames import LinkAck, LinkHeartbeat
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.runtime.chaos import ChaosConfig, ChaosTransport
+from repro.runtime.reliable import (
+    CONTROL_SEQ,
+    HEADER,
+    SEQ,
+    LinkConfig,
+    LinkStats,
+    frame_bytes,
+)
+from repro.runtime.transport import TcpNetwork
+
+#: Distinct port bases so parallel test runs cannot collide.
+PORTS = iter(range(20_000, 21_000, 8))
+
+
+class Sink:
+    """Minimal process: records everything the network delivers."""
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((src, message))
+
+
+def make_pair(n=2, seed=7, link_config=None, chaos=None):
+    base = next(PORTS)
+    peers = {pid: ("127.0.0.1", base + pid) for pid in range(n)}
+    config = SystemConfig(n=n, seed=seed)
+    nets = [
+        TcpNetwork(config, pid, peers, link_config=link_config, chaos=chaos)
+        for pid in range(n)
+    ]
+    sinks = [Sink(pid) for pid in range(n)]
+    for net, sink in zip(nets, sinks):
+        net.register(sink)
+    return nets, sinks
+
+
+async def eventually(predicate, timeout=10.0, poll=0.01):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(poll)
+    return predicate()
+
+
+class TestFraming:
+    def test_frame_layout(self):
+        payload = encode_message(GossipSubscribe("hello"))
+        frame = frame_bytes(9, payload)
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == SEQ.size + len(payload)
+        (seq,) = SEQ.unpack(frame[HEADER.size : HEADER.size + SEQ.size])
+        assert seq == 9
+        assert decode_message(frame[HEADER.size + SEQ.size :]) == GossipSubscribe(
+            "hello"
+        )
+
+    def test_link_control_frames_round_trip(self):
+        for message in (LinkAck(123456), LinkHeartbeat(7)):
+            assert decode_message(encode_message(message)) == message
+            assert message.wire_size(4) > 0
+
+    def test_link_stats_as_dict(self):
+        stats = LinkStats()
+        stats.reconnects += 2
+        as_dict = stats.as_dict()
+        assert as_dict["reconnects"] == 2
+        for key in ("retries", "redeliveries", "duplicates_dropped", "control_bits"):
+            assert key in as_dict
+
+
+class TestConfigs:
+    def test_link_config_rejects_bad_backoff(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(initial_backoff=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkConfig(initial_backoff=1.0, max_backoff=0.5)
+        with pytest.raises(ConfigurationError):
+            LinkConfig(jitter=1.5)
+
+    def test_chaos_config_rejects_bad_rates(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(drop_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(sever_every=0)
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_schedule(self):
+        config = ChaosConfig(
+            drop_rate=0.3, duplicate_rate=0.2, delay_rate=0.2, dial_fail_rate=0.3
+        )
+        a = ChaosTransport(99, config)
+        b = ChaosTransport(99, config)
+        fates_a = [a.plan(0, 1, seq) for seq in range(1, 200)]
+        fates_b = [b.plan(0, 1, seq) for seq in range(1, 200)]
+        assert fates_a == fates_b
+        dials_a = [a.fail_dial(2, 3, k) for k in range(1, 50)]
+        dials_b = [b.fail_dial(2, 3, k) for k in range(1, 50)]
+        assert dials_a == dials_b
+
+    def test_different_seeds_differ(self):
+        config = ChaosConfig(drop_rate=0.3)
+        a = ChaosTransport(1, config)
+        b = ChaosTransport(2, config)
+        fates_a = [a.plan(0, 1, seq).drop for seq in range(1, 300)]
+        fates_b = [b.plan(0, 1, seq).drop for seq in range(1, 300)]
+        assert fates_a != fates_b
+
+    def test_links_are_independent_streams(self):
+        config = ChaosConfig(drop_rate=0.5)
+        chaos = ChaosTransport(5, config)
+        drops_01 = [chaos.plan(0, 1, seq).drop for seq in range(1, 200)]
+        drops_10 = [chaos.plan(1, 0, seq).drop for seq in range(1, 200)]
+        assert drops_01 != drops_10
+
+    def test_drop_rate_concentrates(self):
+        chaos = ChaosTransport(11, ChaosConfig(drop_rate=0.25))
+        drops = sum(chaos.plan(0, 1, seq).drop for seq in range(1, 2001))
+        assert 0.18 <= drops / 2000 <= 0.32
+        assert chaos.drop_fraction() == drops / 2000
+
+    def test_retransmissions_pass_clean(self):
+        chaos = ChaosTransport(3, ChaosConfig(drop_rate=0.999, duplicate_rate=0.5))
+        first = chaos.plan(0, 1, 1)
+        assert first.drop
+        again = chaos.plan(0, 1, 1)  # retransmission of the same frame
+        assert not again.drop and not again.duplicate and again.delay == 0.0
+        assert chaos.first_attempts == 1
+
+    def test_sever_cadence_counts_first_writes_only(self):
+        chaos = ChaosTransport(4, ChaosConfig(sever_every=10))
+        cuts = sum(chaos.sever_after_write(0, 1, seq) for seq in range(1, 31))
+        assert cuts == 3
+        # Rewriting old frames (a redelivery burst) never triggers a cut.
+        assert not any(chaos.sever_after_write(0, 1, seq) for seq in range(1, 31))
+        assert chaos.severs == 3
+
+
+class TestReliableDelivery:
+    def test_in_order_delivery_with_acks_and_heartbeats(self):
+        async def main():
+            link_config = LinkConfig(heartbeat_interval=0.05, heartbeat_timeout=2.0)
+            nets, sinks = make_pair(link_config=link_config)
+            await nets[1].start()
+            for i in range(50):
+                nets[0].send(0, 1, GossipSubscribe(f"m{i}"))
+            assert await eventually(lambda: len(sinks[1].received) == 50)
+            assert [m.channel for _, m in sinks[1].received] == [
+                f"m{i}" for i in range(50)
+            ]
+            # Cumulative acks flowed back and the idle link heartbeats.
+            assert await eventually(
+                lambda: nets[0].link_stats.acks_received > 0
+                and nets[0].link_stats.heartbeats_sent > 0
+            )
+            assert nets[1].link_stats.acks_sent > 0
+            assert nets[0].link_stats.control_bits > 0
+            # Control traffic never enters the §3 protocol accounting.
+            assert "LinkAck" not in nets[0].metrics.bits_by_tag
+            assert "LinkHeartbeat" not in nets[0].metrics.bits_by_tag
+            for net in nets:
+                await net.close()
+                await net.close()  # idempotent
+
+        asyncio.run(main())
+
+    def test_sever_triggers_reconnect_and_redelivery(self):
+        async def main():
+            nets, sinks = make_pair(
+                link_config=LinkConfig(initial_backoff=0.01, max_backoff=0.1)
+            )
+            await nets[1].start()
+            for i in range(20):
+                nets[0].send(0, 1, GossipSubscribe(f"a{i}"))
+            assert await eventually(lambda: len(sinks[1].received) == 20)
+            assert nets[0].sever_connections() >= 1
+            for i in range(20):
+                nets[0].send(0, 1, GossipSubscribe(f"b{i}"))
+            assert await eventually(lambda: len(sinks[1].received) == 40)
+            assert nets[0].link_stats.reconnects >= 1
+            names = [m.channel for _, m in sinks[1].received]
+            assert names == [f"a{i}" for i in range(20)] + [
+                f"b{i}" for i in range(20)
+            ]
+            for net in nets:
+                await net.close()
+
+        asyncio.run(main())
+
+    def test_chaos_duplicates_are_discarded(self):
+        async def main():
+            chaos = ChaosTransport(13, ChaosConfig(duplicate_rate=0.9))
+            nets, sinks = make_pair(chaos=chaos)
+            await nets[1].start()
+            for i in range(30):
+                nets[0].send(0, 1, GossipSubscribe(f"m{i}"))
+            assert await eventually(lambda: len(sinks[1].received) == 30)
+            assert chaos.duplicates > 0
+            assert nets[1].link_stats.duplicates_dropped >= chaos.duplicates
+            for net in nets:
+                await net.close()
+
+        asyncio.run(main())
+
+    def test_degraded_peer_bounds_queue_then_recovers(self):
+        async def main():
+            link_config = LinkConfig(
+                initial_backoff=0.01,
+                max_backoff=0.03,
+                degrade_after=0.15,
+                max_degraded_queue=5,
+            )
+            nets, sinks = make_pair(link_config=link_config)
+            # Peer 1 is down: nobody listens on its port yet.
+            for i in range(25):
+                nets[0].send(0, 1, GossipSubscribe(f"m{i}"))
+            assert await eventually(
+                lambda: 1 in nets[0].degraded_peers, timeout=5.0
+            )
+            assert nets[0].queue_depth <= 5
+            assert nets[0].link_stats.dropped_degraded >= 20
+            assert nets[0].link_stats.retries > 0
+            # The peer comes back: the bounded tail is delivered, the link
+            # un-degrades, and the receiver records the loss as a gap.
+            await nets[1].start()
+            assert await eventually(lambda: len(sinks[1].received) >= 5)
+            assert await eventually(lambda: not nets[0].degraded_peers)
+            assert nets[1].link_stats.gaps >= 1
+            for net in nets:
+                await net.close()
+
+        asyncio.run(main())
+
+
+class TestHandshakeHardening:
+    def test_out_of_range_pid_rejected(self):
+        async def main():
+            nets, sinks = make_pair(n=2)
+            await nets[0].start()
+            reader, writer = await asyncio.open_connection(*nets[0].peers[0])
+            writer.write(bytes([77]))  # not a pid of this cluster
+            payload = encode_message(GossipSubscribe("evil"))
+            writer.write(frame_bytes(1, payload))
+            await writer.drain()
+            assert await eventually(
+                lambda: nets[0].link_stats.handshake_rejects == 1
+            )
+            assert await eventually(lambda: reader.at_eof(), timeout=5.0)
+            assert sinks[0].received == []
+            writer.close()
+            for net in nets:
+                await net.close()
+
+        asyncio.run(main())
+
+    def test_self_pid_rejected(self):
+        async def main():
+            nets, sinks = make_pair(n=2)
+            await nets[0].start()
+            _reader, writer = await asyncio.open_connection(*nets[0].peers[0])
+            writer.write(bytes([0]))  # claims to be the node itself
+            await writer.drain()
+            assert await eventually(
+                lambda: nets[0].link_stats.handshake_rejects == 1
+            )
+            writer.close()
+            for net in nets:
+                await net.close()
+
+        asyncio.run(main())
+
+    def test_garbage_frame_drops_connection_without_delivery(self):
+        async def main():
+            nets, sinks = make_pair(n=2)
+            await nets[0].start()
+            reader, writer = await asyncio.open_connection(*nets[0].peers[0])
+            writer.write(bytes([1]))  # valid handshake
+            writer.write(HEADER.pack(12) + b"\xff" * 12)  # undecodable frame
+            await writer.drain()
+            assert await eventually(lambda: reader.at_eof(), timeout=5.0)
+            assert sinks[0].received == []
+            writer.close()
+            for net in nets:
+                await net.close()
+
+        asyncio.run(main())
+
+    def test_duplicate_connection_superseded(self):
+        async def main():
+            nets, sinks = make_pair(n=2)
+            await nets[0].start()
+            _r1, w1 = await asyncio.open_connection(*nets[0].peers[0])
+            w1.write(bytes([1]))
+            await w1.drain()
+            _r2, w2 = await asyncio.open_connection(*nets[0].peers[0])
+            w2.write(bytes([1]))
+            await w2.drain()
+            assert await eventually(
+                lambda: nets[0].link_stats.superseded_connections == 1
+            )
+            # The newest connection carries traffic; the stale one is closed.
+            payload = encode_message(GossipSubscribe("fresh"))
+            w2.write(frame_bytes(1, payload))
+            await w2.drain()
+            assert await eventually(lambda: len(sinks[0].received) == 1)
+            w1.close()
+            w2.close()
+            for net in nets:
+                await net.close()
+
+        asyncio.run(main())
+
+
+class TestLoopRequirement:
+    def test_constructing_outside_a_loop_raises(self):
+        config = SystemConfig(n=2, seed=1)
+        peers = {0: ("127.0.0.1", 1), 1: ("127.0.0.1", 2)}
+        with pytest.raises(RuntimeError):
+            TcpNetwork(config, 0, peers)
