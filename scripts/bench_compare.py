@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Compare two sweep documents; exit non-zero on regression.
+
+Deterministic metrics (events, bits, commits, transactions) must match
+exactly for every common cell — they are seeded, so any drift means the
+simulator's behavior changed. Wall-clock may regress up to ``--wall-tolerance``
+(a ratio; 0.5 = 50% slower) before failing, or only warn with
+``--wall-advisory`` (recommended on shared CI runners).
+
+    PYTHONPATH=src python scripts/bench_compare.py BENCH_sim.json /tmp/new.json \
+        --wall-tolerance 1.0 --wall-advisory
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.perf.compare import compare_documents
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="old document (e.g. committed BENCH_sim.json)")
+    parser.add_argument("new", help="new document to validate")
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=0.5,
+        help="allowed wall-clock slowdown ratio (default: 0.5)",
+    )
+    parser.add_argument(
+        "--wall-advisory", action="store_true",
+        help="report wall-clock regressions as warnings, not failures",
+    )
+    parser.add_argument(
+        "--allow-missing-cells", action="store_true",
+        help="do not fail when baseline cells are absent from the new document",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        old = json.load(handle)
+    with open(args.new, encoding="utf-8") as handle:
+        new = json.load(handle)
+
+    result = compare_documents(
+        old,
+        new,
+        wall_tolerance=args.wall_tolerance,
+        wall_advisory=args.wall_advisory,
+        require_all_cells=not args.allow_missing_cells,
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

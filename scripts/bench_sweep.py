@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Run a benchmark suite through the parallel sweep harness.
+
+Examples (from the repo root):
+
+    # Full Table-1 grid, all cores, write the repo baseline:
+    PYTHONPATH=src python scripts/bench_sweep.py --suite table1 --out BENCH_sim.json
+
+    # CI smoke grid, serial, to a scratch file:
+    PYTHONPATH=src python scripts/bench_sweep.py --suite smoke --jobs 1 --out /tmp/bench.json
+
+    # Profile one cell (no JSON written unless --out is given):
+    PYTHONPATH=src python scripts/bench_sweep.py --suite table1 --profile --cells bracha-n13
+
+The document layout and the metrics/timing split are described in
+docs/benchmarks.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.perf.cells import SUITES, suite_cells
+from repro.perf.runner import run_cell_profiled
+from repro.perf.sweep import render_summary, run_sweep, write_document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite", choices=sorted(SUITES), default="table1",
+        help="named benchmark grid (default: table1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="base seed the per-cell seeds derive from (default: 1)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cells", default=None, metavar="REGEX",
+        help="only run cells whose name matches this regex",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the merged JSON document here",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run cells serially under cProfile and print the reports",
+    )
+    args = parser.parse_args(argv)
+
+    cells = suite_cells(args.suite, args.seed)
+    if args.cells:
+        pattern = re.compile(args.cells)
+        cells = [cell for cell in cells if pattern.search(cell.name)]
+    if not cells:
+        print("no cells selected", file=sys.stderr)
+        return 2
+
+    if args.profile:
+        for cell in cells:
+            _, text = run_cell_profiled(cell)
+            print(text)
+        return 0
+
+    start = time.perf_counter()
+    document = run_sweep(
+        cells,
+        suite=args.suite,
+        jobs=args.jobs,
+        generated_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    )
+    elapsed = time.perf_counter() - start
+    print(render_summary(document))
+    print(f"sweep wall-clock (end to end): {elapsed:.2f}s")
+    if args.out:
+        write_document(document, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

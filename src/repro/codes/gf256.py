@@ -32,6 +32,30 @@ def _build_tables() -> tuple[list[int], list[int]]:
 _EXP, _LOG = _build_tables()
 
 
+def _build_mul_tables() -> list[bytes]:
+    """256 translation tables: ``_MUL_TABLE[w][b] == gf_mul(w, b)``.
+
+    ``bytes.translate`` over one of these applies a scalar field
+    multiplication to a whole fragment in C — the workhorse of the
+    Reed-Solomon fast path (64 KiB total, built once at import).
+    """
+    tables = [bytes(256)]  # w = 0 maps everything to 0
+    for w in range(1, 256):
+        log_w = _LOG[w]
+        tables.append(
+            bytes(0 if b == 0 else _EXP[log_w + _LOG[b]] for b in range(256))
+        )
+    return tables
+
+
+_MUL_TABLE = _build_mul_tables()
+
+
+def gf_mul_table(w: int) -> bytes:
+    """The 256-byte translation table for multiplication by ``w``."""
+    return _MUL_TABLE[w]
+
+
 def gf_add(a: int, b: int) -> int:
     """Addition (and subtraction) in GF(2^8) is XOR."""
     return a ^ b

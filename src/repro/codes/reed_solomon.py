@@ -7,17 +7,28 @@ so the first ``k`` fragments *are* the data (systematic). Any ``k`` fragments
 reconstruct every column by Lagrange interpolation — the property AVID [14]
 uses to disperse a block at ``n/k`` storage blow-up while tolerating ``n - k``
 missing fragments.
+
+Hot-path design notes (this was the top entry of the simulator's profile —
+every AVID dispersal encodes, every delivery decodes): instead of one
+``gf_mul`` call per (fragment, column, data byte), each scalar weight is
+applied to a whole row at once with ``bytes.translate`` over the
+precomputed :func:`repro.codes.gf256.gf_mul_table`, and rows are XOR-folded
+as big integers — both run in C. Lagrange weights are memoized: a
+deployment reuses the same (points, target) pairs for every block.
 """
 
 from __future__ import annotations
 
-from repro.codes.gf256 import gf_div, gf_mul
+from functools import lru_cache
+
+from repro.codes.gf256 import gf_div, gf_mul, gf_mul_table
 
 #: GF(2^8) has 255 usable nonzero evaluation points.
 MAX_SHARDS = 255
 
 
-def _lagrange_weights(xs: list[int], target: int) -> list[int]:
+@lru_cache(maxsize=4096)
+def _lagrange_weights(xs: tuple[int, ...], target: int) -> tuple[int, ...]:
     """Weights ``w_i`` with ``P(target) = XOR_i gf_mul(w_i, y_i)`` for points ``xs``."""
     weights = []
     for i, x_i in enumerate(xs):
@@ -29,7 +40,17 @@ def _lagrange_weights(xs: list[int], target: int) -> list[int]:
             numerator = gf_mul(numerator, target ^ x_j)
             denominator = gf_mul(denominator, x_i ^ x_j)
         weights.append(gf_div(numerator, denominator))
-    return weights
+    return tuple(weights)
+
+
+def _combine(weights: tuple[int, ...], rows: list[bytes], columns: int) -> bytes:
+    """``XOR_i gf_mul(weights[i], rows[i])`` over whole rows at once."""
+    acc = 0
+    for weight, row in zip(weights, rows):
+        if weight == 0:
+            continue
+        acc ^= int.from_bytes(row.translate(gf_mul_table(weight)), "little")
+    return acc.to_bytes(columns, "little")
 
 
 def rs_encode(data: bytes, k: int, n: int) -> list[bytes]:
@@ -44,26 +65,16 @@ def rs_encode(data: bytes, k: int, n: int) -> list[bytes]:
     columns = max(1, -(-len(data) // k))  # at least one column even when empty
     padded = data.ljust(columns * k, b"\x00")
 
-    data_points = list(range(1, k + 1))
-    fragments = [bytearray(columns) for _ in range(n)]
-    # Systematic part: fragment j < k is the j-th byte of every column.
-    for j in range(k):
-        row = fragments[j]
-        for c in range(columns):
-            row[c] = padded[c * k + j]
-    # Parity part: evaluate each column polynomial at the remaining points.
+    data_points = tuple(range(1, k + 1))
+    # Systematic part: fragment j < k is the j-th byte of every column —
+    # i.e. every k-th byte of the padded data, starting at offset j.
+    fragments: list[bytes] = [padded[j::k] for j in range(k)]
+    # Parity part: evaluate each column polynomial at the remaining points,
+    # one row-wide multiply-accumulate per data fragment.
     for j in range(k, n):
         weights = _lagrange_weights(data_points, j + 1)
-        row = fragments[j]
-        for c in range(columns):
-            base = c * k
-            acc = 0
-            for i in range(k):
-                byte = padded[base + i]
-                if byte:
-                    acc ^= gf_mul(weights[i], byte)
-            row[c] = acc
-    return [bytes(fragment) for fragment in fragments]
+        fragments.append(_combine(weights, fragments[:k], columns))
+    return fragments
 
 
 def rs_decode(fragments: dict[int, bytes], k: int, data_len: int) -> bytes:
@@ -81,21 +92,17 @@ def rs_decode(fragments: dict[int, bytes], k: int, data_len: int) -> bytes:
     if any(len(fragments[j]) != columns for j in available):
         raise ValueError("fragments have inconsistent lengths")
 
-    source_points = [j + 1 for j in available]
+    source_points = tuple(j + 1 for j in available)
     rows = [fragments[j] for j in available]
-    out = bytearray(columns * k)
+    data_rows: list[bytes] = []
     for target in range(1, k + 1):
         if target in source_points:
-            row = rows[source_points.index(target)]
-            for c in range(columns):
-                out[c * k + target - 1] = row[c]
+            data_rows.append(rows[source_points.index(target)])
             continue
         weights = _lagrange_weights(source_points, target)
-        for c in range(columns):
-            acc = 0
-            for weight, row in zip(weights, rows):
-                byte = row[c]
-                if byte:
-                    acc ^= gf_mul(weight, byte)
-            out[c * k + target - 1] = acc
+        data_rows.append(_combine(weights, rows, columns))
+    # Re-interleave: data byte c*k + (target-1) is column c of row target-1.
+    out = bytearray(columns * k)
+    for index, row in enumerate(data_rows):
+        out[index::k] = row
     return bytes(out[:data_len])

@@ -211,12 +211,32 @@ class DagStore:
         for ref in survivors:
             keep_mask |= 1 << self._bit_index[ref]
 
+        # Survivors appear in ascending old-bit order (they are filtered from
+        # `_refs_by_bit` in place), so remapping a mask is a bit-gather: pack
+        # the bits selected by `keep_mask` into consecutive low positions.
+        # Decompose `keep_mask` once into maximal runs of set bits, then each
+        # remap is one shift+mask+or per run instead of one test per
+        # survivor — GC removes whole prefixes of rounds, so runs are few and
+        # the old O(survivors) scan per mask (O(survivors^2) per compact)
+        # becomes a handful of big-int ops.
+        gather_runs: list[tuple[int, int, int]] = []  # (old_shift, width_mask, new_shift)
+        remainder = keep_mask
+        old_shift = 0
+        new_shift = 0
+        while remainder:
+            zeros = (remainder & -remainder).bit_length() - 1
+            remainder >>= zeros
+            old_shift += zeros
+            ones = (~remainder & (remainder + 1)).bit_length() - 1
+            gather_runs.append((old_shift, (1 << ones) - 1, new_shift))
+            remainder >>= ones
+            old_shift += ones
+            new_shift += ones
+
         def remap(mask: int) -> int:
-            mask &= keep_mask
             out = 0
-            for new_bit, ref in enumerate(survivors):
-                if mask >> self._bit_index[ref] & 1:
-                    out |= 1 << new_bit
+            for shift, width_mask, new_pos in gather_runs:
+                out |= (mask >> shift & width_mask) << new_pos
             return out
 
         new_ancestors = {ref: remap(self._ancestors[ref]) for ref in survivors}

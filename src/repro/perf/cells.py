@@ -1,0 +1,98 @@
+"""Benchmark cells: one deterministic simulator configuration each.
+
+A cell fixes everything that affects the run — system size, broadcast
+instantiation, batch size, target wave, and a seed derived from the suite's
+base seed and the cell name — so the same cell always replays the same
+execution, whichever worker process it lands on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+from repro.common.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One simulator configuration measured by the sweep harness.
+
+    Attributes:
+        name: Unique cell id, used as the JSON key and the seed label.
+        n: System size (``f`` follows as ``(n - 1) // 3``).
+        broadcast: Reliable-broadcast instantiation (a Table 1 row).
+        batch_size: Transactions per proposed block.
+        seed: Master seed for this cell's deployment (all randomness in a
+            run derives from it).
+        tx_bytes: Payload bytes per transaction.
+        wave_target: Run until every correct node decided this wave.
+        max_events: Event budget; the run fails if the target is not
+            reached within it.
+    """
+
+    name: str
+    n: int
+    broadcast: str
+    batch_size: int
+    seed: int
+    tx_bytes: int = 64
+    wave_target: int = 3
+    max_events: int = 4_000_000
+
+    def params(self) -> dict[str, object]:
+        """The cell as a plain JSON-ready dict (includes the seed)."""
+        return asdict(self)
+
+
+def batch_nlogn(n: int) -> int:
+    """The paper's Θ(n log n) batch prescription for the amortized rows."""
+    return max(1, round(n * math.log2(n)))
+
+
+def _cell(base_seed: int, n: int, broadcast: str, batch_size: int, **kw) -> BenchCell:
+    name = f"{broadcast}-n{n}-b{batch_size}"
+    return BenchCell(
+        name=name,
+        n=n,
+        broadcast=broadcast,
+        batch_size=batch_size,
+        seed=derive_seed(base_seed, "bench-cell", name),
+        **kw,
+    )
+
+
+def table1_cells(base_seed: int = 1) -> list[BenchCell]:
+    """The Table-1 measurement grid: every broadcast row over the bench ``n``s.
+
+    Batch sizes follow ``bench_table1_communication``: Θ(n) for Bracha and
+    gossip (the quadratic/n-log-n rows), Θ(n log n) for AVID (the
+    amortized-linear row).
+    """
+    cells = []
+    for n in (4, 7, 10, 13):
+        cells.append(_cell(base_seed, n, "bracha", n))
+        cells.append(_cell(base_seed, n, "gossip", n))
+        cells.append(_cell(base_seed, n, "avid", batch_nlogn(n)))
+    return cells
+
+
+def smoke_cells(base_seed: int = 1) -> list[BenchCell]:
+    """A tiny grid for CI smoke runs and the determinism cross-check."""
+    return [
+        _cell(base_seed, 4, "bracha", 4),
+        _cell(base_seed, 4, "avid", batch_nlogn(4)),
+        _cell(base_seed, 7, "bracha", 7),
+    ]
+
+
+#: Named suites the CLI exposes.
+SUITES = {
+    "table1": table1_cells,
+    "smoke": smoke_cells,
+}
+
+
+def suite_cells(suite: str, base_seed: int = 1) -> list[BenchCell]:
+    """Cells of a named suite; raises ``KeyError`` for unknown names."""
+    return SUITES[suite](base_seed)

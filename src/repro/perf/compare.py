@@ -1,0 +1,125 @@
+"""Baseline comparison: exact on deterministic metrics, tolerant on timing.
+
+Two regression classes, handled differently:
+
+* **Semantic drift** — any deterministic metric (bits, commits, events,
+  transactions) differing for a common cell means the simulator's behavior
+  changed, not just its speed. Always an error: an optimization PR must
+  hold these bit-identical, and a behavior-changing PR must regenerate the
+  baseline explicitly.
+* **Performance regression** — per-cell and total wall-clock may exceed
+  the old baseline by at most ``wall_tolerance`` (a ratio, e.g. ``0.5`` =
+  50% slower). Noisy on shared CI hardware, so callers can downgrade it to
+  advisory warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CompareResult:
+    """Outcome of comparing a new document against a baseline."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no hard failures were recorded."""
+        return not self.errors
+
+    def render(self) -> str:
+        """Human-readable report: per-cell table, then warnings and errors."""
+        parts = list(self.lines)
+        parts.extend(f"WARNING: {w}" for w in self.warnings)
+        parts.extend(f"ERROR: {e}" for e in self.errors)
+        parts.append("compare: OK" if self.ok else "compare: FAILED")
+        return "\n".join(parts)
+
+
+def _speedup(old_s: float, new_s: float) -> str:
+    if new_s <= 0:
+        return "n/a"
+    return f"{old_s / new_s:.2f}x"
+
+
+def compare_documents(
+    old: dict,
+    new: dict,
+    wall_tolerance: float = 0.5,
+    wall_advisory: bool = False,
+    require_all_cells: bool = True,
+) -> CompareResult:
+    """Compare ``new`` against the ``old`` baseline.
+
+    Args:
+        old: Baseline document (the committed ``BENCH_sim.json``).
+        new: Freshly measured document.
+        wall_tolerance: Allowed per-cell and total slowdown ratio.
+        wall_advisory: Downgrade wall-clock regressions to warnings
+            (deterministic-metric drift stays fatal).
+        require_all_cells: Error when a baseline cell is missing from the
+            new document; extra new cells are always just noted.
+    """
+    result = CompareResult()
+    if old.get("schema_version") != new.get("schema_version"):
+        result.errors.append(
+            f"schema_version mismatch: baseline "
+            f"{old.get('schema_version')} vs new {new.get('schema_version')}"
+        )
+        return result
+
+    old_cells, new_cells = old["cells"], new["cells"]
+    missing = sorted(set(old_cells) - set(new_cells))
+    extra = sorted(set(new_cells) - set(old_cells))
+    if missing:
+        message = f"cells missing from new document: {missing}"
+        (result.errors if require_all_cells else result.warnings).append(message)
+    if extra:
+        result.lines.append(f"new cells not in baseline (ignored): {extra}")
+
+    header = f"{'cell':<22}{'old_s':>9}{'new_s':>9}{'speedup':>9}  metrics"
+    result.lines.append(header)
+    result.lines.append("-" * len(header))
+    old_wall = new_wall = 0.0
+    for name in sorted(set(old_cells) & set(new_cells)):
+        old_cell, new_cell = old_cells[name], new_cells[name]
+        drift = [
+            f"{key}: {old_value} -> {new_cell['metrics'].get(key)}"
+            for key, old_value in old_cell["metrics"].items()
+            if new_cell["metrics"].get(key) != old_value
+        ]
+        if drift:
+            result.errors.append(
+                f"deterministic metrics drifted for {name}: " + "; ".join(drift)
+            )
+        old_s = old_cell["timing"]["wall_clock_s"]
+        new_s = new_cell["timing"]["wall_clock_s"]
+        old_wall += old_s
+        new_wall += new_s
+        if new_s > old_s * (1.0 + wall_tolerance):
+            message = (
+                f"wall-clock regression in {name}: "
+                f"{old_s:.3f}s -> {new_s:.3f}s "
+                f"(tolerance {wall_tolerance:.0%})"
+            )
+            (result.warnings if wall_advisory else result.errors).append(message)
+        result.lines.append(
+            f"{name:<22}{old_s:>9.3f}{new_s:>9.3f}{_speedup(old_s, new_s):>9}"
+            f"  {'DRIFT' if drift else 'exact'}"
+        )
+
+    if old_wall > 0:
+        result.lines.append(
+            f"total wall-clock: {old_wall:.3f}s -> {new_wall:.3f}s "
+            f"({_speedup(old_wall, new_wall)} speedup)"
+        )
+        if new_wall > old_wall * (1.0 + wall_tolerance):
+            message = (
+                f"total wall-clock regression: {old_wall:.3f}s -> {new_wall:.3f}s"
+            )
+            (result.warnings if wall_advisory else result.errors).append(message)
+    return result

@@ -1,0 +1,113 @@
+"""Run one benchmark cell and report metrics, timing, and optional profile.
+
+The result of a cell is split into two sections on purpose:
+
+* ``metrics`` — deterministic quantities (events, bits, commits,
+  transactions); identical for the same cell on any machine, any worker
+  process, and any optimization level that preserves simulator semantics.
+  The regression gate compares these exactly.
+* ``timing`` — wall-clock and derived throughput; machine-dependent, only
+  ever compared within a tolerance (or advisorily).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from typing import TYPE_CHECKING
+
+from repro.common.config import SystemConfig
+from repro.core.harness import DagRiderDeployment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.cells import BenchCell
+
+
+class CellFailure(RuntimeError):
+    """A cell did not reach its wave target within its event budget."""
+
+
+def _build(cell: "BenchCell") -> DagRiderDeployment:
+    return DagRiderDeployment(
+        SystemConfig(n=cell.n, seed=cell.seed),
+        broadcast=cell.broadcast,
+        batch_size=cell.batch_size,
+        tx_bytes=cell.tx_bytes,
+    )
+
+
+def _collect(cell: "BenchCell", deployment: DagRiderDeployment, wall: float) -> dict:
+    metrics = deployment.metrics
+    nodes = deployment.correct_nodes
+    events = deployment.scheduler.events_processed
+    return {
+        "params": cell.params(),
+        "metrics": {
+            "events": events,
+            "sim_time": deployment.scheduler.now,
+            "total_bits": metrics.total_bits,
+            "correct_bits": metrics.correct_bits_total,
+            "messages": metrics.messages_total,
+            "commits": min(len(node.ordered) for node in nodes),
+            "delivered": sum(len(node.ordered) for node in nodes),
+            "transactions": deployment.total_transactions_ordered(),
+            "decided_wave": min(node.decided_wave for node in nodes),
+        },
+        "timing": {
+            "wall_clock_s": wall,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        },
+    }
+
+
+def run_cell(cell: "BenchCell") -> dict:
+    """Execute ``cell`` and return its result record.
+
+    Top-level and picklable so :mod:`repro.perf.sweep` can ship it to
+    ``ProcessPoolExecutor`` workers.
+    """
+    start = time.perf_counter()
+    deployment = _build(cell)
+    reached = deployment.run_until_wave(cell.wave_target, max_events=cell.max_events)
+    wall = time.perf_counter() - start
+    if not reached:
+        raise CellFailure(
+            f"cell {cell.name} missed wave {cell.wave_target} "
+            f"within {cell.max_events} events"
+        )
+    deployment.check_total_order()
+    deployment.check_integrity()
+    return _collect(cell, deployment, wall)
+
+
+def run_cell_profiled(cell: "BenchCell", top: int = 30) -> tuple[dict, str]:
+    """Like :func:`run_cell`, under cProfile.
+
+    Returns ``(result, profile_text)`` where the text holds the top
+    functions by cumulative time plus the per-tag message counts — the two
+    views needed to decide where the next hot-loop PR should aim.
+    """
+    start = time.perf_counter()
+    deployment = _build(cell)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    reached = deployment.run_until_wave(cell.wave_target, max_events=cell.max_events)
+    profiler.disable()
+    wall = time.perf_counter() - start
+    if not reached:
+        raise CellFailure(
+            f"cell {cell.name} missed wave {cell.wave_target} "
+            f"within {cell.max_events} events"
+        )
+    result = _collect(cell, deployment, wall)
+
+    out = io.StringIO()
+    out.write(f"== {cell.name}: cProfile, top {top} by cumulative time ==\n")
+    pstats.Stats(profiler, stream=out).sort_stats("cumulative").print_stats(top)
+    out.write("== per-tag message counts ==\n")
+    for tag, count in deployment.metrics.messages_by_tag.most_common():
+        bits = deployment.metrics.bits_by_tag.get(tag, 0)
+        out.write(f"{tag:<28}{count:>10} msgs{bits:>16,} bits\n")
+    return result, out.getvalue()

@@ -1,0 +1,120 @@
+"""Parallel sweep: fan independent cells over processes, merge one document.
+
+Cells are embarrassingly parallel — each replays a fully seeded simulation —
+so the sweep ships them to a ``ProcessPoolExecutor`` and reassembles results
+in declaration order. The merged document is schema-versioned and split into
+deterministic ``metrics`` (identical serial vs. parallel, asserted by the
+cross-check test) and machine-local ``timing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.perf.runner import run_cell
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.cells import BenchCell
+
+#: Bump on any change to the document layout or metric definitions.
+SCHEMA_VERSION = 1
+
+
+def run_sweep(
+    cells: list["BenchCell"],
+    suite: str,
+    jobs: int | None = None,
+    generated_at: str | None = None,
+) -> dict:
+    """Run every cell and merge results into a ``BENCH_sim.json`` document.
+
+    Args:
+        cells: The grid; cell names must be unique.
+        suite: Suite label recorded in the document.
+        jobs: Worker processes; ``None`` uses the CPU count, ``1`` (or a
+            single cell) runs serially in-process.
+        generated_at: Timestamp string stored verbatim (excluded from every
+            determinism comparison); omitted entirely when None.
+    """
+    names = [cell.name for cell in cells]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate cell names in sweep: {names}")
+    if jobs is None:
+        try:
+            jobs = len(os.sched_getaffinity(0))  # respects container quotas
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            jobs = os.cpu_count() or 1
+    if jobs <= 1 or len(cells) <= 1:
+        results = [run_cell(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            results = list(pool.map(run_cell, cells))
+
+    wall_total = sum(r["timing"]["wall_clock_s"] for r in results)
+    events_total = sum(r["metrics"]["events"] for r in results)
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "cells": {cell.name: result for cell, result in zip(cells, results)},
+        "totals": {
+            "cells": len(cells),
+            "events": events_total,
+            "cpu_seconds": wall_total,
+            "events_per_cpu_sec": events_total / wall_total if wall_total else 0.0,
+        },
+    }
+    if generated_at is not None:
+        document["generated_at"] = generated_at
+    return document
+
+
+def metric_payload(document: dict) -> str:
+    """Canonical JSON of the deterministic metrics only.
+
+    Timing, timestamps, and totals derived from timing are stripped; two
+    sweeps of the same seeded grid must agree on this string byte-for-byte
+    whether they ran serially, in parallel, or on different machines.
+    """
+    payload = {
+        "schema_version": document["schema_version"],
+        "suite": document["suite"],
+        "cells": {
+            name: {"params": cell["params"], "metrics": cell["metrics"]}
+            for name, cell in sorted(document["cells"].items())
+        },
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_document(document: dict, path: str) -> None:
+    """Write ``document`` as stable, human-diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_summary(document: dict) -> str:
+    """A terminal table of the document: one line per cell plus totals."""
+    lines = [
+        f"{'cell':<22}{'events':>10}{'wall_s':>9}{'ev/s':>12}"
+        f"{'Mbits':>10}{'commits':>9}{'txs':>8}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for name, cell in document["cells"].items():
+        metrics, timing = cell["metrics"], cell["timing"]
+        lines.append(
+            f"{name:<22}{metrics['events']:>10,}{timing['wall_clock_s']:>9.2f}"
+            f"{timing['events_per_sec']:>12,.0f}"
+            f"{metrics['total_bits'] / 1e6:>10.1f}"
+            f"{metrics['commits']:>9}{metrics['transactions']:>8}"
+        )
+    totals = document["totals"]
+    lines.append(
+        f"total: {totals['cells']} cells, {totals['events']:,} events, "
+        f"{totals['cpu_seconds']:.2f} cpu-s, "
+        f"{totals['events_per_cpu_sec']:,.0f} events/cpu-s"
+    )
+    return "\n".join(lines)

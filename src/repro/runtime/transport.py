@@ -79,10 +79,11 @@ class AsyncScheduler:
 class _Inbound:
     """One live accepted connection from a peer."""
 
-    __slots__ = ("writer",)
+    __slots__ = ("writer", "ack_pending")
 
     def __init__(self, writer: asyncio.StreamWriter):
         self.writer = writer
+        self.ack_pending = False
 
 
 class TcpNetwork:
@@ -138,13 +139,26 @@ class TcpNetwork:
             self._loop.call_soon(self._deliver, src, message)
             return
         self.metrics.record_send(
-            src, message.wire_size(self.config.n), message.tag(), True
+            src, message.wire_size_cached(self.config.n), message.tag(), True
         )
         self._link_for(dst).enqueue(message)
 
     def broadcast(self, src: int, message: "Message") -> None:
+        if src != self.pid:
+            raise RuntimeError("a node may only send as itself")
+        # Encode once; every peer's link shares the same payload bytes, and
+        # the cached wire size prices the message once instead of per peer.
+        payload: bytes | None = None
+        bits = message.wire_size_cached(self.config.n)
+        tag = message.tag()
         for dst in self.config.processes:
-            self.send(src, dst, message)
+            if dst == self.pid:
+                self._loop.call_soon(self._deliver, src, message)
+                continue
+            self.metrics.record_send(src, bits, tag, True)
+            if payload is None:
+                payload = encode_message(message)
+            self._link_for(dst).enqueue_encoded(payload)
 
     # ----------------------------------------------------------- robustness
 
@@ -283,7 +297,10 @@ class TcpNetwork:
                         self.link_stats.gaps += seq - cursor - 1
                     self._recv_cursor[src] = seq
                     self._deliver(src, message)
-                await self._send_ack(src, writer)
+                if self.link_config.ack_every_frame:
+                    await self._send_ack(src, writer)
+                else:
+                    self._schedule_ack(src, state)
         except CONNECTION_ERRORS:
             pass
         except asyncio.CancelledError:
@@ -305,6 +322,29 @@ class TcpNetwork:
         ack = LinkAck(self._recv_cursor.get(src, 0))
         writer.write(frame_bytes(CONTROL_SEQ, encode_message(ack)))
         await writer.drain()
+        self.link_stats.acks_sent += 1
+        self.link_stats.control_bits += ack.wire_size(self.config.n)
+
+    def _schedule_ack(self, src: int, state: _Inbound) -> None:
+        """Coalesce acks per read-burst instead of acking every data frame.
+
+        ``readexactly`` only suspends when the stream buffer runs dry, so a
+        ``call_soon`` scheduled at the first frame of a burst runs exactly
+        when the reader blocks again — one cumulative ack then covers every
+        frame the burst delivered.
+        """
+        if state.ack_pending:
+            return
+        state.ack_pending = True
+        self._loop.call_soon(self._flush_ack, src, state)
+
+    def _flush_ack(self, src: int, state: _Inbound) -> None:
+        state.ack_pending = False
+        writer = state.writer
+        if self._closed or writer.is_closing():
+            return
+        ack = LinkAck(self._recv_cursor.get(src, 0))
+        writer.write(frame_bytes(CONTROL_SEQ, encode_message(ack)))
         self.link_stats.acks_sent += 1
         self.link_stats.control_bits += ack.wire_size(self.config.n)
 

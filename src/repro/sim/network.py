@@ -12,12 +12,19 @@ Matches the model of paper §2:
 
 Self-addressed messages are delivered immediately and cost zero bits — they
 never cross the wire.
+
+Hot-path design notes: :meth:`send` runs once per simulated message, so it
+allocates nothing beyond the scheduler's heap entry — the in-flight
+``(src, dst, message)`` rides in that entry as callback args instead of a
+per-send closure plus side-table record. The rare adaptive-corruption path
+recovers in-flight traffic by scanning the scheduler's pending deliveries.
+Wire sizes go through :meth:`repro.sim.wire.Message.wire_size_cached`, so a
+broadcast to ``n`` peers prices the message once, not ``n`` times.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.common.config import SystemConfig
@@ -29,14 +36,6 @@ from repro.sim.scheduler import Scheduler
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.process import Process
     from repro.sim.wire import Message
-
-
-@dataclass
-class _InFlight:
-    src: int
-    dst: int
-    message: "Message"
-    handle: int
 
 
 class Network:
@@ -55,8 +54,11 @@ class Network:
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self._processes: dict[int, "Process"] = {}
         self._corrupted: set[int] = set(config.byzantine)
-        self._in_flight: dict[int, _InFlight] = {}
-        self._next_flight = 0
+        # Stable bound-method references: scheduler heap entries carry these
+        # as callbacks, and `corrupt` finds in-flight traffic by matching
+        # them; binding once avoids a method object per send.
+        self._deliver_cb = self._deliver
+        self._record_send = self.metrics.record_send
 
     def register(self, process: "Process") -> None:
         """Attach a process; its pid must be unique and in range."""
@@ -76,21 +78,23 @@ class Network:
         """Adaptively corrupt ``pid`` and drop its queued messages on request.
 
         Models the §2 adaptive adversary: corruption happens mid-run, after
-        which the adversary may drop this sender's undelivered traffic.
+        which the adversary may drop this sender's undelivered traffic. The
+        in-flight messages live in the scheduler's pending delivery events
+        (in send order, which is handle order), so this rare path scans them
+        there rather than taxing every send with bookkeeping.
         """
         if len(self._corrupted | {pid}) > self.config.f:
             raise ProtocolError(
                 f"corrupting {pid} would exceed f={self.config.f} faults"
             )
         self._corrupted.add(pid)
-        for flight_id, flight in list(self._in_flight.items()):
-            if flight.src != pid:
+        now = self.scheduler.now
+        for handle, args in self.scheduler.pending_calls(self._deliver_cb):
+            src, dst, message = args
+            if src != pid or src == dst:
                 continue
-            if self.adversary.should_drop(
-                flight.src, flight.dst, flight.message, self.scheduler.now
-            ):
-                self.scheduler.cancel(flight.handle)
-                del self._in_flight[flight_id]
+            if self.adversary.should_drop(src, dst, message, now):
+                self.scheduler.cancel(handle)
 
     def is_correct(self, pid: int) -> bool:
         """True when ``pid`` has not been corrupted."""
@@ -103,11 +107,11 @@ class Network:
         if src == dst:
             # Local hand-off: no wire cost, immediate delivery, but still via
             # the scheduler so handlers never reenter each other.
-            self.scheduler.call_later(0.0, lambda: self._deliver(src, dst, message))
+            self.scheduler.call_later(0.0, self._deliver_cb, src, dst, message)
             return
 
-        bits = message.wire_size(self.config.n)
-        self.metrics.record_send(src, bits, message.tag(), self.is_correct(src))
+        bits = message.wire_size_cached(self.config.n)
+        self._record_send(src, bits, message.tag(), src not in self._corrupted)
 
         now = self.scheduler.now
         if self.adversary.should_drop(src, dst, message, now):
@@ -123,23 +127,13 @@ class Network:
         correct_pair = self.is_correct(src) and self.is_correct(dst)
         self.metrics.record_delay(delay, correct_pair)
 
-        flight_id = self._next_flight
-        self._next_flight += 1
-        handle = self.scheduler.call_later(
-            delay, lambda: self._complete(flight_id)
-        )
-        self._in_flight[flight_id] = _InFlight(src, dst, message, handle)
+        self.scheduler.call_later(delay, self._deliver_cb, src, dst, message)
 
     def broadcast(self, src: int, message: "Message") -> None:
         """Send ``message`` from ``src`` to every process, including itself."""
+        send = self.send
         for dst in self.config.processes:
-            self.send(src, dst, message)
-
-    def _complete(self, flight_id: int) -> None:
-        flight = self._in_flight.pop(flight_id, None)
-        if flight is None:  # dropped while in flight
-            return
-        self._deliver(flight.src, flight.dst, flight.message)
+            send(src, dst, message)
 
     def _deliver(self, src: int, dst: int, message: "Message") -> None:
         process = self._processes.get(dst)

@@ -5,13 +5,20 @@ simultaneous events fire in submission order, which keeps runs bit-for-bit
 reproducible for a fixed seed. Asynchrony in the paper's sense comes from the
 adversary choosing arbitrary (finite) message delays, not from real-time
 nondeterminism.
+
+Hot-path design notes: this loop executes every simulated message delivery,
+so the run loop pops each heap entry exactly once (no separate peek/pop
+passes), callbacks carry positional ``*args`` in the heap entry itself (so
+callers need not allocate a closure per event), and cancellation is O(1) by
+nulling the entry's callback through a handle->entry map — which also makes
+:meth:`cancel` idempotent against handles that already fired and keeps
+:attr:`pending` exact.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable
+from typing import Callable, Iterator
 
 
 class Scheduler:
@@ -28,11 +35,15 @@ class Scheduler:
     """
 
     def __init__(self) -> None:
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
-        self._counter = itertools.count()
+        # Heap entries are mutable: [when, handle, callback, args]. A
+        # cancelled entry has callback = None and stays queued until popped;
+        # `_entries` maps live handles to their entries (insertion-ordered,
+        # which is handle order).
+        self._queue: list[list] = []
+        self._entries: dict[int, list] = {}
+        self._next_handle = 0
         self._now = 0.0
         self._events_processed = 0
-        self._cancelled: set[int] = set()
 
     @property
     def now(self) -> float:
@@ -46,37 +57,58 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue) - len(self._cancelled)
+        """Number of events still queued (cancelled ones excluded)."""
+        return len(self._entries)
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> int:
-        """Schedule ``callback`` at absolute time ``when``; return a handle."""
+    def call_at(self, when: float, callback: Callable, *args: object) -> int:
+        """Schedule ``callback(*args)`` at absolute time ``when``; return a handle."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        handle = next(self._counter)
-        heapq.heappush(self._queue, (when, handle, callback))
+        handle = self._next_handle
+        self._next_handle = handle + 1
+        entry = [when, handle, callback, args]
+        self._entries[handle] = entry
+        heapq.heappush(self._queue, entry)
         return handle
 
-    def call_later(self, delay: float, callback: Callable[[], None]) -> int:
-        """Schedule ``callback`` ``delay`` time units from now; return a handle."""
+    def call_later(self, delay: float, callback: Callable, *args: object) -> int:
+        """Schedule ``callback(*args)`` ``delay`` time units from now; return a handle."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, callback)
+        return self.call_at(self._now + delay, callback, *args)
 
     def cancel(self, handle: int) -> None:
-        """Cancel a previously scheduled event (no-op if already fired)."""
-        self._cancelled.add(handle)
+        """Cancel a scheduled event; idempotent, no-op once it has fired."""
+        entry = self._entries.pop(handle, None)
+        if entry is not None:
+            entry[2] = None
+            entry[3] = ()  # drop arg references immediately
+
+    def pending_calls(self, callback: Callable) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(handle, args)`` of pending events bound to ``callback``.
+
+        Lets callers that carry state in event args (e.g. the network's
+        in-flight messages) inspect it without shadow bookkeeping. Snapshot
+        semantics: safe to :meth:`cancel` yielded handles while iterating.
+        """
+        snapshot = [
+            (handle, entry[3])
+            for handle, entry in self._entries.items()
+            if entry[2] == callback
+        ]
+        return iter(snapshot)
 
     def step(self) -> bool:
         """Run the earliest pending event. Return False when none remain."""
-        while self._queue:
-            when, handle, callback = heapq.heappop(self._queue)
-            if handle in self._cancelled:
-                self._cancelled.discard(handle)
+        queue = self._queue
+        while queue:
+            when, handle, callback, args = heapq.heappop(queue)
+            if callback is None:
                 continue
+            del self._entries[handle]
             self._now = when
             self._events_processed += 1
-            callback()
+            callback(*args)
             return True
         return False
 
@@ -93,28 +125,28 @@ class Scheduler:
             max_events: Stop after executing this many further events.
             stop_when: Checked after every event; True stops the run.
         """
-        executed = 0
-        while self._queue:
-            if max_events is not None and executed >= max_events:
-                return
-            next_time = self._peek_time()
-            if next_time is None:
-                return
-            if until is not None and next_time > until:
+        queue = self._queue
+        entries = self._entries
+        remaining = max_events
+        while queue:
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+            entry = queue[0]
+            if entry[2] is None:  # cancelled: discard without executing
+                heapq.heappop(queue)
+                if remaining is not None:
+                    remaining += 1
+                continue
+            when = entry[0]
+            if until is not None and when > until:
                 self._now = until
                 return
-            if not self.step():
-                return
-            executed += 1
+            heapq.heappop(queue)
+            del entries[entry[1]]
+            self._now = when
+            self._events_processed += 1
+            entry[2](*entry[3])
             if stop_when is not None and stop_when():
                 return
-
-    def _peek_time(self) -> float | None:
-        while self._queue:
-            when, handle, _ = self._queue[0]
-            if handle in self._cancelled:
-                heapq.heappop(self._queue)
-                self._cancelled.discard(handle)
-                continue
-            return when
-        return None

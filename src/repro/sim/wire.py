@@ -51,6 +51,22 @@ class Message(ABC):
     def wire_size(self, n: int) -> int:
         """Return the size of this message in bits for an ``n``-process system."""
 
+    def wire_size_cached(self, n: int) -> int:
+        """:meth:`wire_size`, memoized on the message object.
+
+        Messages are immutable once sent and a broadcast hands the *same*
+        object to every peer, so the network prices each message once
+        instead of ``n`` times. Works on frozen dataclasses (the cache
+        bypasses their setattr guard) and is keyed by ``n`` in case a
+        message ever crosses deployments of different sizes.
+        """
+        cached = self.__dict__.get("_wire_size_cache")
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        bits = self.wire_size(n)
+        object.__setattr__(self, "_wire_size_cache", (n, bits))
+        return bits
+
     def tag(self) -> str:
         """Short label used by metrics breakdowns; defaults to the class name."""
         return type(self).__name__

@@ -121,6 +121,42 @@ class TestStoreCompaction:
         assert store.compact(2, []) == []  # lower horizon: no-op
         assert store.vertex_count == count
 
+    def test_compact_with_interleaved_bit_order(self):
+        """The remap bit-gather must handle holes inside the survivor mask.
+
+        Vertices are inserted out of round order (a straggler's round-2
+        vertex lands after round-3 ones), so survivor bits are not one
+        contiguous prefix-complement and the gather runs over several
+        fragments of the keep mask.
+        """
+        store = DagStore(4)
+        # Round 1 completes without the straggler (source 3)...
+        for source in range(3):
+            store.add(Vertex(1, source, Block(source, 1), frozenset(range(4))))
+        # ...round 2 advances on a 2f+1 quorum before the straggler lands,
+        # so a collected round-1 bit ends up *between* surviving round-2
+        # bits once source 3's round-1 vertex finally arrives.
+        for source in range(3):
+            store.add(Vertex(2, source, Block(source, 2), frozenset(range(3))))
+        store.add(Vertex(1, 3, Block(3, 1), frozenset(range(4))))  # straggler
+        store.add(Vertex(2, 3, Block(3, 2), frozenset(range(4))))
+        for source in range(4):
+            store.add(Vertex(3, source, Block(source, 3), frozenset(range(4))))
+
+        survivors = [v.ref for v in store.vertices() if v.round >= 2]
+        expectations = {
+            (a, b): (store.path(a, b), store.strong_path(a, b))
+            for a in survivors
+            for b in survivors
+        }
+        external = [1 << store.bit_of(ref) for ref in survivors]
+        remapped = store.compact(2, external)
+        for (ref_a, ref_b), (path, strong) in expectations.items():
+            assert store.path(ref_a, ref_b) == path
+            assert store.strong_path(ref_a, ref_b) == strong
+        for ref, mask in zip(survivors, remapped):
+            assert mask == 1 << store.bit_of(ref)
+
     def test_insert_after_compact_gets_fresh_bits(self):
         store = self._grown_store()
         store.compact(5, [])

@@ -1,0 +1,59 @@
+"""Sweep harness end-to-end: determinism across serial and parallel runs.
+
+The acceptance contract of the perf layer: the same seeded grid must
+produce byte-identical deterministic metric payloads whether cells run in
+this process or are fanned across a ``ProcessPoolExecutor`` — otherwise the
+committed ``BENCH_sim.json`` baseline could never gate regressions.
+"""
+
+from repro.perf.cells import smoke_cells
+from repro.perf.compare import compare_documents
+from repro.perf.runner import run_cell, run_cell_profiled
+from repro.perf.sweep import metric_payload, run_sweep
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_sweeps_identical_payloads(self):
+        cells = smoke_cells(base_seed=1)
+        serial = run_sweep(cells, suite="smoke", jobs=1)
+        parallel = run_sweep(cells, suite="smoke", jobs=2)
+        assert metric_payload(serial) == metric_payload(parallel)
+        # And the exact-metrics half of the regression gate agrees.
+        result = compare_documents(serial, parallel, wall_advisory=True)
+        assert result.ok, result.render()
+
+    def test_rerun_of_one_cell_is_bit_identical(self):
+        cell = smoke_cells(base_seed=1)[0]
+        first = run_cell(cell)
+        second = run_cell(cell)
+        assert first["metrics"] == second["metrics"]
+        assert first["params"] == second["params"]
+
+    def test_different_base_seed_changes_metrics(self):
+        cells_a = smoke_cells(base_seed=1)[:1]
+        cells_b = smoke_cells(base_seed=2)[:1]
+        doc_a = run_sweep(cells_a, suite="smoke", jobs=1)
+        doc_b = run_sweep(cells_b, suite="smoke", jobs=1)
+        # Same grid shape, different seeds: simulated executions diverge.
+        assert metric_payload(doc_a) != metric_payload(doc_b)
+
+
+class TestRunner:
+    def test_cell_result_shape(self):
+        result = run_cell(smoke_cells()[0])
+        assert set(result) == {"params", "metrics", "timing"}
+        metrics = result["metrics"]
+        assert metrics["commits"] > 0
+        assert metrics["transactions"] > 0
+        assert metrics["total_bits"] > 0
+        assert metrics["correct_bits"] <= metrics["total_bits"]
+        assert metrics["decided_wave"] >= smoke_cells()[0].wave_target
+        assert result["timing"]["wall_clock_s"] > 0
+
+    def test_profiled_run_reports_hotspots_and_tags(self):
+        cell = smoke_cells()[0]
+        result, text = run_cell_profiled(cell, top=5)
+        assert result["metrics"]["commits"] > 0
+        assert "cumulative" in text
+        assert "per-tag message counts" in text
+        assert "msgs" in text

@@ -157,6 +157,25 @@ class TestAdversaryLimits:
         with pytest.raises(ProtocolError):
             net.send(0, 1, Ping())
 
+    def test_broadcast_prices_wire_size_once(self):
+        class CountingPing(Ping):
+            computed = 0
+
+            def wire_size(self, n):
+                type(self).computed += 1
+                return super().wire_size(n)
+
+        sched, net, nodes = build()
+        message = CountingPing()
+        net.broadcast(0, message)
+        # One computation covers all four destinations (cached per object);
+        # accounting still charges each of the three wire crossings.
+        assert CountingPing.computed == 1
+        assert net.metrics.messages_total == 3
+        assert net.metrics.total_bits == 3 * message.wire_size(4)
+        sched.run()
+        assert all(len(node.received) == 1 for node in nodes)
+
     def test_corrupt_then_queued_messages_dropped(self):
         class DropAfterCorrupt(Adversary):
             def delay(self, src, dst, message, now):

@@ -1,0 +1,121 @@
+"""Unit coverage for the perf layer: cells, documents, comparisons."""
+
+import json
+
+import pytest
+
+from repro.perf.cells import SUITES, batch_nlogn, smoke_cells, suite_cells, table1_cells
+from repro.perf.compare import compare_documents
+from repro.perf.sweep import SCHEMA_VERSION, metric_payload, run_sweep
+
+
+def document(wall=1.0, bits=100, commits=8, events=50, suite="smoke"):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "cells": {
+            "cell-a": {
+                "params": {"n": 4, "seed": 1},
+                "metrics": {
+                    "events": events,
+                    "total_bits": bits,
+                    "commits": commits,
+                },
+                "timing": {"wall_clock_s": wall, "events_per_sec": events / wall},
+            }
+        },
+        "totals": {"cells": 1, "events": events, "cpu_seconds": wall},
+    }
+
+
+class TestCells:
+    def test_suites_registered(self):
+        assert set(SUITES) == {"table1", "smoke"}
+
+    def test_table1_grid_shape(self):
+        cells = table1_cells()
+        assert len(cells) == 12
+        assert {cell.broadcast for cell in cells} == {"bracha", "gossip", "avid"}
+        assert {cell.n for cell in cells} == {4, 7, 10, 13}
+        names = [cell.name for cell in cells]
+        assert len(set(names)) == len(names)
+
+    def test_seeds_distinct_and_deterministic(self):
+        seeds = {cell.name: cell.seed for cell in table1_cells(base_seed=1)}
+        again = {cell.name: cell.seed for cell in table1_cells(base_seed=1)}
+        assert seeds == again
+        assert len(set(seeds.values())) == len(seeds)
+        other = {cell.name: cell.seed for cell in table1_cells(base_seed=2)}
+        assert all(other[name] != seed for name, seed in seeds.items())
+
+    def test_batch_prescriptions(self):
+        assert batch_nlogn(4) == 8
+        for cell in smoke_cells():
+            assert cell.batch_size >= 1
+        with pytest.raises(KeyError):
+            suite_cells("nope")
+
+
+class TestSweepDocument:
+    def test_duplicate_cell_names_rejected(self):
+        cells = smoke_cells()
+        with pytest.raises(ValueError):
+            run_sweep([cells[0], cells[0]], suite="smoke", jobs=1)
+
+    def test_metric_payload_strips_timing_and_timestamp(self):
+        doc_a = document(wall=1.0)
+        doc_b = document(wall=99.0)
+        doc_b["generated_at"] = "2026-08-05T00:00:00"
+        assert metric_payload(doc_a) == metric_payload(doc_b)
+        assert "wall_clock" not in metric_payload(doc_a)
+        # The payload is canonical JSON: key order never changes it.
+        reordered = json.loads(json.dumps(doc_a))
+        assert metric_payload(reordered) == metric_payload(doc_a)
+
+    def test_metric_payload_sees_metric_changes(self):
+        assert metric_payload(document(bits=100)) != metric_payload(document(bits=101))
+
+
+class TestCompare:
+    def test_identical_documents_pass(self):
+        result = compare_documents(document(), document())
+        assert result.ok
+        assert "OK" in result.render()
+
+    def test_metric_drift_is_fatal_even_in_advisory_mode(self):
+        result = compare_documents(
+            document(bits=100), document(bits=200), wall_advisory=True
+        )
+        assert not result.ok
+        assert any("drifted" in error for error in result.errors)
+
+    def test_wall_regression_beyond_tolerance_fails(self):
+        result = compare_documents(
+            document(wall=1.0), document(wall=2.0), wall_tolerance=0.5
+        )
+        assert not result.ok
+        assert any("wall-clock" in error for error in result.errors)
+
+    def test_wall_regression_within_tolerance_passes(self):
+        result = compare_documents(
+            document(wall=1.0), document(wall=1.3), wall_tolerance=0.5
+        )
+        assert result.ok
+
+    def test_wall_advisory_downgrades_to_warning(self):
+        result = compare_documents(
+            document(wall=1.0), document(wall=5.0), wall_advisory=True
+        )
+        assert result.ok
+        assert result.warnings
+
+    def test_missing_cell_policy(self):
+        new = document()
+        new["cells"] = {}
+        assert not compare_documents(document(), new).ok
+        assert compare_documents(document(), new, require_all_cells=False).ok
+
+    def test_schema_mismatch_fails(self):
+        new = document()
+        new["schema_version"] = SCHEMA_VERSION + 1
+        assert not compare_documents(document(), new).ok

@@ -106,6 +106,62 @@ class TestScheduler:
         sched.cancel(h1)
         assert sched.pending == 1
 
+    def test_cancel_after_fire_is_idempotent(self):
+        # Cancelling a handle whose event already fired must not leak state
+        # or disturb the pending count (the old `_cancelled` set kept such
+        # handles forever).
+        sched = Scheduler()
+        fired = []
+        handle = sched.call_at(1.0, lambda: fired.append("fired"))
+        sched.run()
+        assert fired == ["fired"]
+        sched.cancel(handle)  # no-op: already fired
+        sched.cancel(handle)  # idempotent
+        assert sched.pending == 0
+        later = sched.call_at(2.0, lambda: fired.append("later"))
+        assert sched.pending == 1
+        sched.run()
+        assert fired == ["fired", "later"]
+        sched.cancel(later)
+        assert sched.pending == 0
+
+    def test_double_cancel_keeps_pending_accurate(self):
+        sched = Scheduler()
+        handles = [sched.call_at(float(i), lambda: None) for i in range(4)]
+        sched.cancel(handles[1])
+        sched.cancel(handles[1])  # double-cancel must not double-count
+        assert sched.pending == 3
+        sched.run()
+        assert sched.pending == 0
+        assert sched.events_processed == 3
+
+    def test_callback_args_carried_in_event(self):
+        sched = Scheduler()
+        seen = []
+        sched.call_at(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+        sched.call_later(2.0, seen.append, "plain")
+        sched.run()
+        assert seen == [(1, "x"), "plain"]
+
+    def test_pending_calls_exposes_args_and_supports_cancel(self):
+        sched = Scheduler()
+        seen = []
+
+        def deliver(tag):
+            seen.append(tag)
+
+        sched.call_at(1.0, deliver, "a")
+        keep = sched.call_at(2.0, deliver, "b")
+        sched.call_at(3.0, lambda: seen.append("other"))
+        pending = dict(sched.pending_calls(deliver))
+        assert sorted(args for args in pending.values()) == [("a",), ("b",)]
+        for handle, args in pending.items():
+            if args == ("a",):
+                sched.cancel(handle)
+        assert keep in dict(sched.pending_calls(deliver))
+        sched.run()
+        assert seen == ["b", "other"]
+
     def test_empty_run_is_noop(self):
         sched = Scheduler()
         sched.run()
