@@ -125,19 +125,28 @@ class SmrNode(Process):
         seed = self.config.seed
         n = self.config.n
         if self.protocol == "vaba":
-            elect = lambda view: slot_coin(seed, slot, "elect")(view) % n
+
+            def elect(view: int) -> int:
+                return slot_coin(seed, slot, "elect")(view) % n
+
             instance = VabaSlot(
                 self.pid, self.config, elect, send, broadcast,
                 on_decide=lambda value, s=slot: self._on_decide(s, (value,)),
             )
         elif self.protocol == "dumbo":
-            elect = lambda view: slot_coin(seed, slot, "elect")(view) % n
+
+            def elect(view: int) -> int:
+                return slot_coin(seed, slot, "elect")(view) % n
+
             instance = DumboSlot(
                 self.pid, self.config, elect, send, broadcast,
                 on_decide=lambda blocks, s=slot: self._on_decide(s, tuple(blocks)),
             )
         else:  # honeybadger
-            coin = lambda index, r: slot_coin(seed, slot, "aba", index)(r) % 2
+
+            def coin(index: int, r: int) -> int:
+                return slot_coin(seed, slot, "aba", index)(r) % 2
+
             instance = HoneyBadgerSlot(
                 self.pid, self.config, coin, send, broadcast,
                 on_decide=lambda blocks, s=slot: self._on_decide(s, tuple(blocks)),

@@ -39,7 +39,7 @@ def encode_bool(value: bool) -> bytes:
 class Reader:
     """Sequential decoder over a byte buffer."""
 
-    def __init__(self, data: bytes, offset: int = 0):
+    def __init__(self, data: bytes, offset: int = 0) -> None:
         self._data = data
         self._offset = offset
 

@@ -9,7 +9,7 @@ round-trip without pickle.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.baselines.aba import AbaMessage
 from repro.baselines.dispersal import DispersalMessage
@@ -243,7 +243,11 @@ def _dec_slot(reader: Reader) -> SlotMessage:
 
 # --------------------------------------------------------------- registry
 
-_REGISTRY: dict[type, tuple[int, Callable]] = {
+# Encoders are stored behind their concrete message type, so the common
+# value type erases the parameter to Any; encode_message re-establishes
+# the pairing by construction (each encoder is registered under the type
+# it accepts).
+_REGISTRY: dict[type[Message], tuple[int, Callable[[Any], bytes]]] = {
     BrachaMessage: (1, _enc_bracha),
     GossipSubscribe: (2, _enc_subscribe),
     GossipMessage: (3, _enc_gossip),

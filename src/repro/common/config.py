@@ -23,15 +23,16 @@ class SystemConfig:
         wave_length: Rounds per wave; the paper fixes 4, the ablation
             benches lower it to show where the common-core argument breaks.
         genesis_size: Number of hardcoded round-0 vertices (Algorithm 1 uses
-            ``2f + 1``; we default to ``n`` so every process has a round-0
-            vertex to strongly reference, which satisfies the same bound).
+            ``2f + 1``; 0 — the default — means ``n``, so every process has
+            a round-0 vertex to strongly reference, which satisfies the
+            same bound).
         byzantine: Ids of processes controlled by the adversary.
     """
 
     n: int
     seed: int = 0
     wave_length: int = WAVE_LENGTH
-    genesis_size: int | None = None
+    genesis_size: int = 0
     byzantine: frozenset[int] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
@@ -41,7 +42,7 @@ class SystemConfig:
             raise ConfigurationError(
                 f"wave_length must be positive, got {self.wave_length}"
             )
-        if self.genesis_size is None:
+        if self.genesis_size == 0:
             object.__setattr__(self, "genesis_size", self.n)
         if not self.quorum <= self.genesis_size <= self.n:
             raise ConfigurationError(

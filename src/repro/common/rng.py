@@ -12,6 +12,12 @@ from __future__ import annotations
 import hashlib
 import random
 
+#: The seeded generator type every component receives. Annotate injected
+#: generators as ``Rng`` instead of importing ``random`` directly — the
+#: determinism lint (DET001) bans the global ``random`` module everywhere
+#: outside this file so no unseeded stream can sneak into a run.
+Rng = random.Random
+
 
 def derive_seed(seed: int, *labels: object) -> int:
     """Derive a child seed from ``seed`` and a sequence of labels.
@@ -26,6 +32,6 @@ def derive_seed(seed: int, *labels: object) -> int:
     return int.from_bytes(hasher.digest()[:8], "big")
 
 
-def derive_rng(seed: int, *labels: object) -> random.Random:
-    """Return an independent :class:`random.Random` for ``(seed, labels)``."""
-    return random.Random(derive_seed(seed, *labels))
+def derive_rng(seed: int, *labels: object) -> Rng:
+    """Return an independent :class:`Rng` stream for ``(seed, labels)``."""
+    return Rng(derive_seed(seed, *labels))

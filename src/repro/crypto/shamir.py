@@ -9,10 +9,10 @@ property the paper leans on for the coin's post-quantum agreement guarantee).
 
 from __future__ import annotations
 
-import random
 from typing import Iterable, Sequence
 
 from repro.common.errors import SecretSharingError
+from repro.common.rng import Rng
 
 #: A 128-bit prime (2**128 - 159), large enough for coin secrets.
 PRIME = 2**128 - 159
@@ -21,7 +21,7 @@ Share = tuple[int, int]  # (x, y) with x in 1..n
 
 
 def share_secret(
-    secret: int, threshold: int, n: int, rng: random.Random
+    secret: int, threshold: int, n: int, rng: Rng
 ) -> list[Share]:
     """Split ``secret`` into ``n`` shares, any ``threshold`` of which reconstruct it.
 

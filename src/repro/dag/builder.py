@@ -25,7 +25,7 @@ from repro.broadcast.base import Payload, ReliableBroadcast
 from repro.common.config import SystemConfig
 from repro.dag.store import DagStore
 from repro.dag.vertex import Ref, Vertex
-from repro.mempool.blocks import BlockSource
+from repro.mempool.blocks import Block, BlockSource
 
 #: ``wave_ready(w)`` — the Line 12 signal to the ordering layer.
 WaveReadyCallback = Callable[[int], None]
@@ -50,7 +50,7 @@ class DagBuilder:
         coin_share_provider: CoinShareProvider | None = None,
         enable_weak_edges: bool = True,
         on_round_advance: Callable[[int], None] | None = None,
-    ):
+    ) -> None:
         self.pid = pid
         self.config = config
         self.store = DagStore(config.genesis_size)
@@ -189,7 +189,7 @@ class DagBuilder:
             return self.config.genesis_size  # genesis is hardcoded complete
         return self.config.quorum
 
-    def _create_vertex(self, round_: int, block) -> Vertex:
+    def _create_vertex(self, round_: int, block: Block) -> Vertex:
         """Lines 16-21 + 27-31: strong edges to all of round-1, weak to orphans."""
         strong = frozenset(self.store.round(round_ - 1))
         share = None

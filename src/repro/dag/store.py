@@ -21,7 +21,7 @@ from repro.dag.vertex import Ref, Vertex, genesis_vertices
 class DagStore:
     """A per-process DAG with round indexing and bitset reachability."""
 
-    def __init__(self, genesis_size: int):
+    def __init__(self, genesis_size: int) -> None:
         self._rounds: dict[int, dict[int, Vertex]] = {}
         self._bit_index: dict[Ref, int] = {}
         self._refs_by_bit: list[Ref] = []

@@ -1,0 +1,84 @@
+"""Committed-baseline support: grandfather old violations, fail new ones.
+
+The baseline file (``lint-baseline.json`` at the repo root) maps violation
+fingerprints to occurrence counts. Fingerprints are content-addressed
+(path + code + hash of the stripped source line — see
+:meth:`repro.lint.violations.Violation.fingerprint`), so baselined hits
+survive edits elsewhere in the file that shift line numbers. If the tree
+accumulates *more* occurrences of a fingerprint than the baseline records,
+the excess (in source order) counts as new and fails the run.
+
+Regenerate with ``python -m repro.lint src/ --write-baseline`` after an
+intentional change; review the diff of ``lint-baseline.json`` like code.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.violations import Violation, sort_key
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(Exception):
+    """Raised for unreadable or wrong-version baseline files."""
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Read a baseline file into a fingerprint -> count mapping."""
+    try:
+        document = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported version "
+            f"{document.get('version') if isinstance(document, dict) else document!r}"
+        )
+    entries = document.get("entries", {})
+    if not isinstance(entries, dict):
+        raise BaselineError(f"baseline {path} entries must be an object")
+    counts: Counter[str] = Counter()
+    for fingerprint, count in entries.items():
+        if not isinstance(count, int) or count < 1:
+            raise BaselineError(
+                f"baseline {path}: bad count {count!r} for {fingerprint}"
+            )
+        counts[str(fingerprint)] = count
+    return counts
+
+
+def write_baseline(path: Path, violations: list[Violation]) -> None:
+    """Write the baseline covering every (unsuppressed) current violation."""
+    counts = Counter(v.fingerprint() for v in violations)
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def split_by_baseline(
+    violations: list[Violation], baseline: Counter[str]
+) -> tuple[list[Violation], list[Violation]]:
+    """Partition violations into (new, baselined).
+
+    Occurrences of a fingerprint up to its baselined count are grandfathered
+    in source order; anything beyond is new.
+    """
+    seen: Counter[str] = Counter()
+    new: list[Violation] = []
+    grandfathered: list[Violation] = []
+    for violation in sorted(violations, key=sort_key):
+        fingerprint = violation.fingerprint()
+        seen[fingerprint] += 1
+        if seen[fingerprint] <= baseline.get(fingerprint, 0):
+            grandfathered.append(violation)
+        else:
+            new.append(violation)
+    return new, grandfathered

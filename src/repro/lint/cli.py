@@ -1,0 +1,153 @@
+"""Command-line front end: ``python -m repro.lint`` / ``scripts/lint.py``.
+
+Exit codes (CI contract):
+
+* ``0`` — no new violations (baselined and suppressed hits are reported
+  but do not fail the run);
+* ``1`` — at least one new violation or unparsable file;
+* ``2`` — usage or environment error (bad baseline file, no inputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import BaselineError, load_baseline, write_baseline
+from repro.lint.engine import LintResult, run
+from repro.lint.registry import rule_table
+from repro.lint.violations import Violation
+
+
+def _format_text(
+    result: LintResult, *, show_suppressed: bool, stream: object = None
+) -> str:
+    lines: list[str] = []
+
+    def emit(violation: Violation, tag: str = "") -> None:
+        suffix = f"  [{tag}]" if tag else ""
+        lines.append(
+            f"{violation.path}:{violation.line}:{violation.col + 1}: "
+            f"{violation.code} {violation.message}{suffix}"
+        )
+
+    for path, error in result.parse_errors:
+        lines.append(f"{path}: PARSE error: {error}")
+    for violation in result.new:
+        emit(violation)
+    for violation in result.baselined:
+        emit(violation, "baselined")
+    if show_suppressed:
+        for violation in result.suppressed:
+            emit(violation, "suppressed")
+    lines.append(
+        f"{result.files_checked} files checked: "
+        f"{len(result.new)} new, {len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+        + (f", {len(result.parse_errors)} unparsable" if result.parse_errors else "")
+    )
+    return "\n".join(lines)
+
+
+def _format_json(result: LintResult) -> str:
+    document = {
+        "files_checked": result.files_checked,
+        "new": [v.to_dict() for v in result.new],
+        "baselined": [v.to_dict() for v in result.baselined],
+        "suppressed": [v.to_dict() for v in result.suppressed],
+        "parse_errors": [
+            {"path": path, "error": error} for path, error in result.parse_errors
+        ],
+        "ok": result.ok,
+    }
+    return json.dumps(document, indent=2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Determinism lint for the DAG-Rider reproduction: custom AST "
+            "rules guarding the bit-identical-metrics invariant."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="grandfather violations recorded in FILE (lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline (default lint-baseline.json) from the "
+        "current tree and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed violations (text format)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path("."),
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, scope, summary in rule_table():
+            print(f"{code:10s} [{scope}] {summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    baseline_path = args.baseline
+    if args.write_baseline:
+        baseline_path = baseline_path or Path("lint-baseline.json")
+    elif baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    result = run(paths, root=args.root, baseline=baseline)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.new + result.baselined)
+        print(
+            f"wrote {baseline_path} covering "
+            f"{len(result.new) + len(result.baselined)} violation(s)"
+        )
+        return 0
+
+    if args.fmt == "json":
+        print(_format_json(result))
+    else:
+        print(_format_text(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1

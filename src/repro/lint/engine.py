@@ -1,0 +1,121 @@
+"""File discovery and per-module orchestration.
+
+The engine walks the given paths, parses each ``.py`` file once, runs every
+applicable rule (see :mod:`repro.lint.registry`), applies inline
+suppressions, and (optionally) splits the remainder against a committed
+baseline. All ordering is deterministic — paths are sorted, violations are
+sorted by position — so the linter obeys its own rules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# Importing the rules package populates the registry as a side effect.
+import repro.lint.rules  # noqa: F401
+from repro.lint.baseline import split_by_baseline
+from repro.lint.registry import ModuleContext, check_module
+from repro.lint.suppress import is_suppressed, parse_suppressions
+from repro.lint.violations import Violation, sort_key
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run over a set of paths."""
+
+    files_checked: int = 0
+    new: list[Violation] = field(default_factory=list)
+    baselined: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.parse_errors
+
+
+def discover_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    found.add(candidate)
+    return sorted(found)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, anchored at the ``repro`` package.
+
+    Files outside the package (scripts, tests) get their stem, which leaves
+    ``ModuleContext.package`` empty so only all-package rules apply.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def relative_posix(path: Path, root: Path) -> str:
+    """Repo-root-relative POSIX path (fingerprints must not depend on cwd)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(
+    source: str, *, path: str = "<snippet>", module: str = "snippet"
+) -> tuple[list[Violation], list[Violation]]:
+    """Lint one source string; returns (active, suppressed). Test-friendly."""
+    context = ModuleContext.from_source(path, module, source)
+    violations = sorted(check_module(context), key=sort_key)
+    suppressions = parse_suppressions(context.lines)
+    active = [v for v in violations if not is_suppressed(v, suppressions)]
+    suppressed = [v for v in violations if is_suppressed(v, suppressions)]
+    return active, suppressed
+
+
+def run(
+    paths: list[Path],
+    *,
+    root: Path,
+    baseline: Counter[str] | None = None,
+) -> LintResult:
+    """Lint every file under ``paths``; split against ``baseline`` if given."""
+    result = LintResult()
+    collected: list[Violation] = []
+    for file_path in discover_files(paths):
+        rel = relative_posix(file_path, root)
+        try:
+            source = file_path.read_text()
+            context = ModuleContext.from_source(rel, module_name_for(file_path), source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.parse_errors.append((rel, str(exc)))
+            continue
+        result.files_checked += 1
+        violations = check_module(context)
+        suppressions = parse_suppressions(context.lines)
+        for violation in violations:
+            if is_suppressed(violation, suppressions):
+                result.suppressed.append(violation)
+            else:
+                collected.append(violation)
+    if baseline is None:
+        result.new = sorted(collected, key=sort_key)
+    else:
+        result.new, result.baselined = split_by_baseline(collected, baseline)
+    result.suppressed.sort(key=sort_key)
+    return result

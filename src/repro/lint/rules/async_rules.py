@@ -1,0 +1,86 @@
+"""ASYNC001: blocking calls inside ``async def`` bodies in runtime/.
+
+The TCP runtime multiplexes every node of a cluster onto one asyncio loop;
+a single blocking call stalls all of them at once, which manifests as
+heartbeat timeouts and spurious reliable-link reconnects rather than a
+clean error. Production DAG-BFT implementations guard against exactly this
+class of hazard with linters (Bullshark ships clippy rules for it); this is
+the Python equivalent.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.names import call_origin
+from repro.lint.registry import Rule, register
+
+#: Call origins that block the event loop. ``open`` covers synchronous file
+#: I/O; the socket constructors cover synchronous networking (a raw
+#: ``socket.socket`` in a coroutine is either blocking or belongs behind
+#: ``loop.sock_*`` helpers, both worth flagging for review).
+BLOCKING_ORIGINS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "input",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.getoutput",
+        "subprocess.getstatusoutput",
+        "os.system",
+        "os.popen",
+        "os.waitpid",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.create_server",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+
+@register
+class BlockingInAsyncRule(Rule):
+    """Flags blocking calls lexically inside coroutine bodies.
+
+    Nested synchronous ``def``s are skipped: a blocking call there is only
+    a hazard if the closure runs on the loop, which is not statically
+    decidable (it may be handed to ``run_in_executor``).
+    """
+
+    code = "ASYNC001"
+    summary = (
+        "blocking call (time.sleep, sync socket/file I/O, subprocess) "
+        "inside an async def; use the asyncio equivalent"
+    )
+    packages = frozenset({"runtime"})
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        for statement in node.body:
+            self._scan(statement)
+        # Do not generic_visit: nested async defs are reached by _scan,
+        # nested sync defs are deliberately skipped.
+
+    def _scan(self, node: ast.AST) -> None:
+        if isinstance(node, ast.FunctionDef):
+            return  # sync closure: may legitimately run in an executor
+        if isinstance(node, ast.AsyncFunctionDef):
+            self.visit_AsyncFunctionDef(node)
+            return
+        if isinstance(node, ast.Call):
+            origin = call_origin(node, self.context.imports)
+            if origin in BLOCKING_ORIGINS:
+                self.report(
+                    node,
+                    f"`{origin}` blocks the event loop inside a coroutine; "
+                    "every node in the cluster stalls with it",
+                )
+        for child in ast.iter_child_nodes(node):
+            self._scan(child)

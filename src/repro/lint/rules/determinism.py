@@ -1,0 +1,261 @@
+"""Determinism rules DET001–DET004.
+
+The reproduction's load-bearing invariant is bit-identical deterministic
+metrics: ``scripts/bench_compare.py`` fails on any drift in the committed
+``BENCH_sim.json``. These rules statically forbid the constructs that have
+historically broken that class of invariant in simulator codebases:
+unseeded randomness, wall-clock reads, set-iteration-order leaks, and
+``id()``-keyed ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.names import call_origin, dotted_origin, imported_module_names
+from repro.lint.registry import Rule, register
+
+#: Wall-clock reads banned inside simulated-time packages (DET002). The
+#: simulator's only clock is Scheduler.now; any of these leaking into
+#: protocol or sim code makes metrics machine-dependent.
+WALL_CLOCK_ORIGINS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Consumers whose output order mirrors their argument's iteration order;
+#: feeding a set straight into one of these leaks the order (DET003).
+ORDER_ESCAPING_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+#: Sort-like callables whose ``key=`` is checked for id() (DET004).
+SORT_LIKE_ORIGINS = frozenset(
+    {"sorted", "min", "max", "heapq.nsmallest", "heapq.nlargest"}
+)
+
+
+@register
+class GlobalRandomRule(Rule):
+    """DET001: the global ``random`` module is off-limits outside common/rng.
+
+    All randomness must flow through :func:`repro.common.rng.derive_rng`
+    (or an injected seeded ``Rng``), so every stream is derived from the
+    run seed and adding a consumer never perturbs existing streams.
+    """
+
+    code = "DET001"
+    summary = (
+        "import/use of the global `random` module outside common/rng; "
+        "derive streams via repro.common.rng instead"
+    )
+    packages = None
+    exempt_modules = frozenset({"repro.common.rng"})
+
+    def visit_Module(self, node: ast.Module) -> None:
+        statement = imported_module_names(self.context.tree).get("random")
+        if statement is not None:
+            self.report(
+                statement,
+                "imports the global `random` module; use "
+                "repro.common.rng.derive_rng / the Rng alias instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        origin = call_origin(node, self.context.imports)
+        if origin is not None and origin.startswith("random."):
+            self.report(
+                node,
+                f"calls `{origin}` (module-global RNG state); "
+                "all randomness must come from a seeded generator",
+            )
+        self.generic_visit(node)
+
+
+@register
+class WallClockRule(Rule):
+    """DET002: wall-clock reads inside simulated-time packages."""
+
+    code = "DET002"
+    summary = (
+        "wall-clock read (time.time/monotonic/perf_counter, datetime.now) "
+        "in simulated-time code; use the scheduler clock"
+    )
+    packages = frozenset({"sim", "dag", "core", "broadcast", "baselines"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        origin = call_origin(node, self.context.imports)
+        if origin in WALL_CLOCK_ORIGINS:
+            self.report(
+                node,
+                f"reads the wall clock via `{origin}`; simulated-time "
+                "packages must use Scheduler.now",
+            )
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.expr, imports: dict[str, str]) -> bool:
+    """True for expressions that statically construct a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_origin(node, imports) in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra (a | b, a - b, ...) where either side is a set expr.
+        return _is_set_expr(node.left, imports) or _is_set_expr(node.right, imports)
+    return False
+
+
+@register
+class SetOrderEscapeRule(Rule):
+    """DET003: set iteration order escaping without a ``sorted()`` wrapper.
+
+    Detected escapes (heuristic, expression-level — a set bound to a name
+    first is out of static reach, see docs/static-analysis.md):
+
+    * ``for x in {…} / set(…) / frozenset(…)`` and comprehension iterables;
+    * ``list(set(…))``, ``tuple(…)``, ``enumerate(…)``, ``iter(…)``;
+    * ``sep.join(set(…))``.
+
+    ``sorted(set(…))`` (or any wrapping call that imposes an order) is the
+    fix and is never flagged: the set expression is then an *argument* of
+    ``sorted``, not the escaping iterable itself.
+    """
+
+    code = "DET003"
+    summary = (
+        "iteration over a set/frozenset whose order escapes into state or "
+        "output; wrap in sorted()"
+    )
+    packages = None
+
+    def _check_iterable(self, iterable: ast.expr, what: str) -> None:
+        if _is_set_expr(iterable, self.context.imports):
+            self.report(
+                iterable,
+                f"{what} iterates a set in hash order; wrap it in sorted() "
+                "so the order is deterministic",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, "for-loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iterable(node.iter, "async for-loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.expr, generators: list[ast.comprehension]) -> None:
+        for generator in generators:
+            self._check_iterable(generator.iter, "comprehension")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        # Dict built from set iteration: insertion order (= hash order)
+        # escapes through the dict's own iteration order.
+        self._visit_comprehension(node, node.generators)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        origin = call_origin(node, self.context.imports)
+        if origin in ORDER_ESCAPING_CALLS and node.args:
+            self._check_iterable(node.args[0], f"{origin}()")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            self._check_iterable(node.args[0], "str.join()")
+        self.generic_visit(node)
+
+
+def _mentions_id_call(node: ast.expr, imports: dict[str, str]) -> bool:
+    """True when ``node`` is/contains a call to the builtin ``id``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and call_origin(child, imports) == "id":
+            return True
+    return False
+
+
+@register
+class IdentityOrderRule(Rule):
+    """DET004: sorting or keying on ``id()``/object identity.
+
+    CPython ``id()`` is an address: it differs run-to-run, so any order or
+    key derived from it is nondeterministic. Flags ``key=id`` (or a lambda
+    calling ``id``) on sort-like calls and ``.sort()``, comparisons between
+    ``id()`` results, and ``id()`` used as a dict/set key.
+    """
+
+    code = "DET004"
+    summary = "sorting or keying on id()/object identity (address-dependent)"
+    packages = None
+
+    def _check_key_kwarg(self, node: ast.Call, what: str) -> None:
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            value = keyword.value
+            is_id = (
+                dotted_origin(value, self.context.imports) == "id"
+                or isinstance(value, ast.Lambda)
+                and _mentions_id_call(value.body, self.context.imports)
+            )
+            if is_id:
+                self.report(
+                    node,
+                    f"{what} keyed on id(); object addresses differ "
+                    "run-to-run — key on a stable field instead",
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        origin = call_origin(node, self.context.imports)
+        if origin in SORT_LIKE_ORIGINS:
+            self._check_key_kwarg(node, f"{origin}()")
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "sort":
+            self._check_key_kwarg(node, ".sort()")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        ordered_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+        if any(isinstance(op, ordered_ops) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Call)
+                and call_origin(operand, self.context.imports) == "id"
+                for operand in operands
+            ):
+                self.report(
+                    node,
+                    "orders by comparing id() results; addresses are not "
+                    "stable across runs",
+                )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, ast.Store) and isinstance(node.slice, ast.Call):
+            if call_origin(node.slice, self.context.imports) == "id":
+                self.report(
+                    node,
+                    "stores under an id() key; the mapping's iteration "
+                    "order will vary run-to-run",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,75 @@
+"""EXC001: exception handlers that can swallow protocol faults.
+
+A bare ``except:`` (or ``except Exception:``/``except BaseException:`` whose
+body only passes) silently eats :class:`repro.common.errors.ProtocolError`
+and its subclasses — the signals the Byzantine-fault tests and the chaos
+layer rely on to prove misbehaviour is *detected*, not absorbed. Handlers
+must either name the exceptions they expect or do something observable with
+what they catch.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.names import dotted_origin
+from repro.lint.registry import Rule, register
+
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+
+def _is_catch_all(handler: ast.ExceptHandler, imports: dict[str, str]) -> bool:
+    if handler.type is None:
+        return True
+    candidates: list[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        candidates = list(handler.type.elts)
+    else:
+        candidates = [handler.type]
+    return any(
+        dotted_origin(candidate, imports) in _CATCH_ALL for candidate in candidates
+    )
+
+
+def _body_discards(body: list[ast.stmt]) -> bool:
+    """True when the handler body does nothing observable (pass/.../continue)."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, (ast.Continue, ast.Break)):
+            continue
+        if (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class SwallowedFaultRule(Rule):
+    """Flags bare excepts and silently-discarding catch-alls."""
+
+    code = "EXC001"
+    summary = (
+        "bare except / except Exception that discards the error; protocol "
+        "faults must be surfaced, not swallowed"
+    )
+    packages = None
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare `except:` catches everything including protocol "
+                "faults and KeyboardInterrupt; name the exceptions",
+            )
+        elif _is_catch_all(node, self.context.imports) and _body_discards(node.body):
+            self.report(
+                node,
+                "catch-all handler silently discards the exception; "
+                "protocol faults would vanish here — log or re-raise",
+            )
+        self.generic_visit(node)

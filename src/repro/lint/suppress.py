@@ -1,0 +1,50 @@
+"""Inline suppression comments.
+
+Syntax (documented in ``docs/static-analysis.md``)::
+
+    do_thing()  # repro-lint: ignore[DET003] set order irrelevant here
+    # repro-lint: ignore[DET001,DET002] fixture deliberately nondeterministic
+    next_line_is_covered()
+
+A suppression names one or more rule codes in brackets and should carry a
+reason. A trailing comment covers its own line; a standalone comment line
+covers the next non-comment line (so decorated or wrapped statements can be
+annotated above). Unknown codes are tolerated — they simply never match —
+but the CLI's ``--show-suppressed`` output makes stale ones easy to spot.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.lint.violations import Violation
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<codes>[A-Z0-9,\s]+)\](?P<reason>.*)$"
+)
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule codes suppressed on them."""
+    suppressed: dict[int, set[str]] = {}
+    for index, line in enumerate(lines, start=1):
+        match = _PATTERN.search(line)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group("codes").split(",")}
+        codes.discard("")
+        if not codes:
+            continue
+        suppressed.setdefault(index, set()).update(codes)
+        if line.strip().startswith("#"):
+            # Standalone comment: also covers the next non-comment line.
+            for forward in range(index + 1, len(lines) + 1):
+                if not lines[forward - 1].strip().startswith("#"):
+                    suppressed.setdefault(forward, set()).update(codes)
+                    break
+    return suppressed
+
+
+def is_suppressed(violation: Violation, suppressions: dict[int, set[str]]) -> bool:
+    """True when ``violation``'s line carries a matching suppression."""
+    return violation.code in suppressions.get(violation.line, set())

@@ -23,11 +23,10 @@ Strategies included:
 
 from __future__ import annotations
 
-import random
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Callable
 
-from repro.common.rng import derive_rng
+from repro.common.rng import Rng, derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.wire import Message
@@ -48,7 +47,7 @@ class Adversary(ABC):
 class UniformDelay(Adversary):
     """I.i.d. uniform delays in ``[low, high]`` — benign asynchrony."""
 
-    def __init__(self, rng: random.Random, low: float = 0.1, high: float = 1.0):
+    def __init__(self, rng: Rng, low: float = 0.1, high: float = 1.0) -> None:
         if not 0 <= low <= high:
             raise ValueError(f"invalid delay range [{low}, {high}]")
         self._rng = rng
@@ -62,7 +61,7 @@ class UniformDelay(Adversary):
 class FixedDelay(Adversary):
     """Every message takes exactly ``value`` time — deterministic lock-step."""
 
-    def __init__(self, value: float = 1.0):
+    def __init__(self, value: float = 1.0) -> None:
         if value < 0:
             raise ValueError(f"negative delay {value}")
         self._value = value
@@ -84,7 +83,7 @@ class SlowProcessDelay(Adversary):
         base: Adversary,
         slow: set[int],
         penalty: float = 10.0,
-    ):
+    ) -> None:
         self._base = base
         self._slow = set(slow)
         self._penalty = penalty
@@ -102,7 +101,7 @@ class PartitionDelay(Adversary):
     ``heal_time`` (links stay reliable, so this is a delay, not a drop).
     """
 
-    def __init__(self, base: Adversary, group_a: set[int], heal_time: float):
+    def __init__(self, base: Adversary, group_a: set[int], heal_time: float) -> None:
         self._base = base
         self._group_a = set(group_a)
         self._heal_time = heal_time
@@ -134,7 +133,7 @@ class GroupVictimDelay(Adversary):
         seed: int,
         group_of: Callable[["Message"], object | None],
         penalty: float = 10.0,
-    ):
+    ) -> None:
         self._base = base
         self._n = n
         self._victims = victims
@@ -177,7 +176,7 @@ class LeaderSuppressionAdversary(Adversary):
         wave_of: Callable[["Message"], int | None],
         penalty: float = 25.0,
         max_wave: int | None = None,
-    ):
+    ) -> None:
         self._base = base
         self._leader_oracle = leader_oracle
         self._wave_of = wave_of

@@ -47,7 +47,7 @@ class Network:
         config: SystemConfig,
         adversary: Adversary,
         metrics: MetricsCollector | None = None,
-    ):
+    ) -> None:
         self.scheduler = scheduler
         self.config = config
         self.adversary = adversary

@@ -7,7 +7,7 @@ simulated ``now`` — exactly the asynchronous message-passing model of §2.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.common.config import SystemConfig
 from repro.sim.network import Network
@@ -19,7 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Process:
     """One simulated process, identified by ``pid`` in ``0..n-1``."""
 
-    def __init__(self, pid: int, network: Network):
+    def __init__(self, pid: int, network: Network) -> None:
         self.pid = pid
         self.network = network
         network.register(self)
@@ -49,6 +49,6 @@ class Process:
         """Send ``message`` to all processes (including self)."""
         self.network.broadcast(self.pid, message)
 
-    def call_later(self, delay: float, callback) -> int:
+    def call_later(self, delay: float, callback: Callable[[], None]) -> int:
         """Schedule a local callback (used for retries/timeouts in baselines)."""
         return self.network.scheduler.call_later(delay, callback)

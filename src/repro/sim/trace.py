@@ -29,7 +29,7 @@ class Tracer:
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
 
-    def record(self, time: float, pid: int, kind: str, **detail) -> None:
+    def record(self, time: float, pid: int, kind: str, **detail: object) -> None:
         """Append one event."""
         self.events.append(TraceEvent(time, pid, kind, detail))
 

@@ -1,7 +1,6 @@
 """Smoke tests: the shipped examples must keep running end-to-end."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -2,7 +2,6 @@
 
 import asyncio
 
-import pytest
 
 from repro.common.config import SystemConfig
 from repro.runtime.cluster import LocalCluster

@@ -1,6 +1,6 @@
 """Single-shot baseline instances: VABA, Dumbo, HoneyBadger, dispersal."""
 
-from repro.baselines.dispersal import AvidDispersal, DispersalMessage
+from repro.baselines.dispersal import AvidDispersal
 from repro.baselines.dumbo import DispersalRef, DumboSlot
 from repro.baselines.honeybadger import HoneyBadgerSlot
 from repro.baselines.vaba import VabaSlot

@@ -1,6 +1,5 @@
 """Algorithm 2 unit behaviour, driven directly (no network)."""
 
-import pytest
 
 from repro.common.config import SystemConfig
 from repro.dag.builder import DagBuilder

@@ -1,0 +1,322 @@
+"""Per-rule fixture tests for the determinism lint.
+
+Each rule gets three snippets: one seeded violation it must catch, one
+clean equivalent it must not flag, and one suppressed violation an inline
+``# repro-lint: ignore[CODE]`` comment must silence. Scope tests assert the
+per-package applicability (DET002 only in simulated-time packages,
+ASYNC001 only in runtime/).
+"""
+
+import pytest
+
+from repro.lint import RULES, lint_source
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+def check(source, module="repro.sim.fixture"):
+    """Active (unsuppressed) violations for one snippet."""
+    active, _ = lint_source(source, module=module)
+    return active
+
+
+def check_suppressed(source, module="repro.sim.fixture"):
+    active, suppressed = lint_source(source, module=module)
+    return active, suppressed
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        assert {r.code for r in RULES} == {
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "ASYNC001",
+            "EXC001",
+        }
+
+    def test_rules_have_summaries(self):
+        assert all(r.summary for r in RULES)
+
+
+class TestDet001GlobalRandom:
+    def test_import_random_flagged(self):
+        assert "DET001" in codes(check("import random\n"))
+
+    def test_from_random_import_flagged(self):
+        assert "DET001" in codes(check("from random import randrange\n"))
+
+    def test_module_call_flagged(self):
+        source = "import random\nx = random.random()\n"
+        assert codes(check(source)).count("DET001") == 2  # import + call
+
+    def test_seeded_rng_clean(self):
+        source = (
+            "from repro.common.rng import derive_rng\n"
+            "rng = derive_rng(1, 'net')\n"
+            "x = rng.random()\n"
+        )
+        assert check(source) == []
+
+    def test_common_rng_module_exempt(self):
+        assert check("import random\n", module="repro.common.rng") == []
+
+    def test_suppression_silences(self):
+        source = "import random  # repro-lint: ignore[DET001] typing-only fixture\n"
+        active, suppressed = check_suppressed(source)
+        assert active == []
+        assert codes(suppressed) == ["DET001"]
+
+
+class TestDet002WallClock:
+    def test_time_monotonic_flagged(self):
+        source = "import time\n\ndef f():\n    return time.monotonic()\n"
+        assert codes(check(source)) == ["DET002"]
+
+    def test_aliased_import_flagged(self):
+        source = "from time import monotonic as clock\n\ndef f():\n    return clock()\n"
+        assert codes(check(source)) == ["DET002"]
+
+    def test_datetime_now_flagged(self):
+        source = (
+            "from datetime import datetime\n\ndef f():\n    return datetime.now()\n"
+        )
+        assert codes(check(source)) == ["DET002"]
+
+    @pytest.mark.parametrize("package", ["dag", "core", "broadcast", "baselines"])
+    def test_applies_across_simulated_time_packages(self, package):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        assert codes(check(source, module=f"repro.{package}.fixture")) == ["DET002"]
+
+    def test_perf_package_out_of_scope(self):
+        # perf/ measures real wall-clock on purpose; the rule must not fire.
+        source = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert check(source, module="repro.perf.fixture") == []
+
+    def test_scheduler_clock_clean(self):
+        source = "def f(scheduler):\n    return scheduler.now\n"
+        assert check(source) == []
+
+    def test_suppression_silences(self):
+        source = (
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro-lint: ignore[DET002] logging only\n"
+        )
+        active, suppressed = check_suppressed(source)
+        assert active == []
+        assert codes(suppressed) == ["DET002"]
+
+
+class TestDet003SetOrderEscape:
+    def test_for_over_set_literal_flagged(self):
+        source = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert codes(check(source)) == ["DET003"]
+
+    def test_list_of_set_call_flagged(self):
+        source = "def f(items):\n    return list(set(items))\n"
+        assert codes(check(source)) == ["DET003"]
+
+    def test_comprehension_over_set_flagged(self):
+        source = "def f(items):\n    return [x for x in set(items)]\n"
+        assert codes(check(source)) == ["DET003"]
+
+    def test_join_over_set_flagged(self):
+        source = "def f(items):\n    return ','.join({str(i) for i in items})\n"
+        assert codes(check(source)) == ["DET003"]
+
+    def test_set_algebra_flagged(self):
+        source = "def f(a, b):\n    return list(set(a) - set(b))\n"
+        assert codes(check(source)) == ["DET003"]
+
+    def test_sorted_wrapper_clean(self):
+        source = (
+            "def f(items):\n"
+            "    for x in sorted(set(items)):\n"
+            "        print(x)\n"
+            "    return sorted({i for i in items})\n"
+        )
+        assert check(source) == []
+
+    def test_membership_and_len_clean(self):
+        # Non-iterating set use is the whole point of sets; never flagged.
+        source = "def f(items, x):\n    s = set(items)\n    return x in s, len(s)\n"
+        assert check(source) == []
+
+    def test_suppression_silences(self):
+        source = (
+            "def f(items):\n"
+            "    # repro-lint: ignore[DET003] all elements identical\n"
+            "    return list(set(items))\n"
+        )
+        active, suppressed = check_suppressed(source)
+        assert active == []
+        assert codes(suppressed) == ["DET003"]
+
+
+class TestDet004IdentityOrder:
+    def test_sorted_key_id_flagged(self):
+        assert codes(check("def f(items):\n    return sorted(items, key=id)\n")) == [
+            "DET004"
+        ]
+
+    def test_sort_lambda_id_flagged(self):
+        source = "def f(items):\n    items.sort(key=lambda v: id(v))\n"
+        assert codes(check(source)) == ["DET004"]
+
+    def test_ordered_id_comparison_flagged(self):
+        source = "def f(a, b):\n    return id(a) < id(b)\n"
+        assert codes(check(source)) == ["DET004"]
+
+    def test_id_as_mapping_key_flagged(self):
+        source = "def f(d, v):\n    d[id(v)] = v\n"
+        assert codes(check(source)) == ["DET004"]
+
+    def test_stable_key_clean(self):
+        source = (
+            "def f(items, a, b):\n"
+            "    items.sort(key=lambda v: v.name)\n"
+            "    return sorted(items, key=str), a is b\n"
+        )
+        assert check(source) == []
+
+    def test_suppression_silences(self):
+        source = (
+            "def f(items):\n"
+            "    return sorted(items, key=id)  "
+            "# repro-lint: ignore[DET004] debug dump only\n"
+        )
+        active, suppressed = check_suppressed(source)
+        assert active == []
+        assert codes(suppressed) == ["DET004"]
+
+
+class TestAsync001Blocking:
+    RUNTIME = "repro.runtime.fixture"
+
+    def test_time_sleep_in_coroutine_flagged(self):
+        source = "import time\n\nasync def f():\n    time.sleep(1)\n"
+        assert codes(check(source, module=self.RUNTIME)) == ["ASYNC001"]
+
+    def test_subprocess_run_flagged(self):
+        source = "import subprocess\n\nasync def f():\n    subprocess.run(['ls'])\n"
+        assert codes(check(source, module=self.RUNTIME)) == ["ASYNC001"]
+
+    def test_open_in_coroutine_flagged(self):
+        source = "async def f(path):\n    return open(path).read()\n"
+        assert codes(check(source, module=self.RUNTIME)) == ["ASYNC001"]
+
+    def test_nested_coroutine_flagged(self):
+        source = (
+            "import time\n\n"
+            "async def outer():\n"
+            "    async def inner():\n"
+            "        time.sleep(1)\n"
+            "    await inner()\n"
+        )
+        assert codes(check(source, module=self.RUNTIME)) == ["ASYNC001"]
+
+    def test_asyncio_sleep_clean(self):
+        source = "import asyncio\n\nasync def f():\n    await asyncio.sleep(1)\n"
+        assert check(source, module=self.RUNTIME) == []
+
+    def test_sync_closure_skipped(self):
+        # A sync def inside a coroutine may run in an executor; not flagged.
+        source = (
+            "import time\n\n"
+            "async def f(loop):\n"
+            "    def blocking():\n"
+            "        time.sleep(1)\n"
+            "    await loop.run_in_executor(None, blocking)\n"
+        )
+        assert check(source, module=self.RUNTIME) == []
+
+    def test_sync_function_out_of_scope(self):
+        assert check("import time\n\ndef f():\n    time.sleep(1)\n",
+                     module=self.RUNTIME) == []
+
+    def test_other_packages_out_of_scope(self):
+        source = "import time\n\nasync def f():\n    time.sleep(1)\n"
+        assert check(source, module="repro.perf.fixture") == []
+
+    def test_suppression_silences(self):
+        source = (
+            "import time\n\n"
+            "async def f():\n"
+            "    time.sleep(0)  # repro-lint: ignore[ASYNC001] yields, test shim\n"
+        )
+        active, suppressed = check_suppressed(source, module=self.RUNTIME)
+        assert active == []
+        assert codes(suppressed) == ["ASYNC001"]
+
+
+class TestExc001SwallowedFaults:
+    def test_bare_except_flagged(self):
+        source = "try:\n    f()\nexcept:\n    handle()\n"
+        assert codes(check(source)) == ["EXC001"]
+
+    def test_except_exception_pass_flagged(self):
+        source = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert codes(check(source)) == ["EXC001"]
+
+    def test_except_base_exception_ellipsis_flagged(self):
+        source = "try:\n    f()\nexcept BaseException:\n    ...\n"
+        assert codes(check(source)) == ["EXC001"]
+
+    def test_named_exception_clean(self):
+        source = "try:\n    f()\nexcept ValueError:\n    pass\n"
+        assert check(source) == []
+
+    def test_handled_catch_all_clean(self):
+        source = (
+            "try:\n"
+            "    f()\n"
+            "except Exception as exc:\n"
+            "    log(exc)\n"
+            "    raise\n"
+        )
+        assert check(source) == []
+
+    def test_suppression_silences(self):
+        source = (
+            "try:\n"
+            "    f()\n"
+            "except Exception:  # repro-lint: ignore[EXC001] best-effort close\n"
+            "    pass\n"
+        )
+        active, suppressed = check_suppressed(source)
+        assert active == []
+        assert codes(suppressed) == ["EXC001"]
+
+
+class TestSuppressionMechanics:
+    def test_multi_code_suppression(self):
+        source = (
+            "import random  # repro-lint: ignore[DET001,DET002] fixture\n"
+        )
+        active, suppressed = check_suppressed(source)
+        assert active == []
+        assert codes(suppressed) == ["DET001"]
+
+    def test_wrong_code_does_not_silence(self):
+        source = "import random  # repro-lint: ignore[DET002] wrong code\n"
+        active, _ = check_suppressed(source)
+        assert codes(active) == ["DET001"]
+
+    def test_standalone_comment_covers_next_statement(self):
+        source = (
+            "# repro-lint: ignore[DET003] singleton set\n"
+            "values = list({1})\n"
+        )
+        active, suppressed = check_suppressed(source)
+        assert active == []
+        assert codes(suppressed) == ["DET003"]
+
+    def test_violation_positions_reported(self):
+        active = check("import random\n")
+        violation = active[0]
+        assert (violation.line, violation.code) == (1, "DET001")
+        assert violation.snippet == "import random"

@@ -11,7 +11,6 @@ from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
 from repro.runtime.chaos import ChaosConfig, ChaosTransport
 from repro.runtime.reliable import (
-    CONTROL_SEQ,
     HEADER,
     SEQ,
     LinkConfig,

@@ -1,6 +1,5 @@
 """VABA's multi-view path: leader suppression forces view changes."""
 
-from repro.baselines.smr import SlotMessage, SmrNode
 from repro.baselines.vaba import VabaMessage, VabaSlot
 from repro.common.config import SystemConfig
 from repro.common.rng import derive_rng

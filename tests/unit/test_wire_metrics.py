@@ -1,10 +1,9 @@
 """Wire-size model and metrics accounting."""
 
-import pytest
 
 from repro.broadcast.bracha import BrachaMessage
 from repro.coin.threshold import CoinShareMessage
-from repro.dag.vertex import Ref, Vertex
+from repro.dag.vertex import Vertex
 from repro.mempool.blocks import Block
 from repro.sim.metrics import MetricsCollector
 from repro.sim.wire import bits_for_process_id
