@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Trace tooling wrapper — same CLI as ``python -m repro.obs``.
+
+Examples (from the repo root):
+
+    # Record a clean and a perturbed trace of the same seeded cell:
+    python scripts/obs.py record bracha-n4-b4 --out clean.jsonl
+    python scripts/obs.py record bracha-n4-b4 --out slow.jsonl --slow 0:1.5
+
+    # What happened, and what changed:
+    python scripts/obs.py summarize clean.jsonl
+    python scripts/obs.py diff clean.jsonl slow.jsonl
+
+See docs/observability.md for the event schema and metric catalog.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ from typing import Callable
 
 from repro.common.config import SystemConfig
 from repro.crypto.hashing import digest_bytes
+from repro.obs.context import Observability
 from repro.sim.wire import Message
 
 #: ``deliver(payload, round, source)`` — the paper's ``r_deliver`` output.
@@ -75,6 +76,12 @@ class ReliableBroadcast(ABC):
         self._broadcast = broadcast
         self._deliver_upcall = deliver
         self._delivered_slots: set[tuple[int, int]] = set()
+        self._obs: Observability | None = None
+
+    def attach_obs(self, obs: Observability | None) -> None:
+        """Attach the deployment's observability bundle (post-construction,
+        so the three instantiations' constructors stay untouched)."""
+        self._obs = obs
 
     @abstractmethod
     def r_bcast(self, payload: Payload, round_: int) -> None:
@@ -90,4 +97,6 @@ class ReliableBroadcast(ABC):
         if slot in self._delivered_slots:
             return
         self._delivered_slots.add(slot)
+        if self._obs is not None:
+            self._obs.emit(self.pid, "r_deliver", round=round_, source=source)
         self._deliver_upcall(payload, round_, source)

@@ -14,6 +14,7 @@ from repro.common.config import SystemConfig
 from repro.common.rng import derive_rng, derive_seed
 from repro.core.node import DagRiderNode
 from repro.crypto.dealer import CoinDealer
+from repro.obs.context import Observability
 from repro.sim.adversary import Adversary, UniformDelay
 from repro.sim.metrics import MetricsCollector
 from repro.sim.network import Network
@@ -39,14 +40,18 @@ class DagRiderDeployment:
         node_factories: dict[int, NodeFactory] | None = None,
         node_kwargs: dict[int, dict] | None = None,
         default_node_kwargs: dict | None = None,
+        observability: Observability | None = None,
     ):
         self.config = config
         self.scheduler = Scheduler()
         self.metrics = MetricsCollector()
+        self.observability = observability
         if adversary is None:
             adversary = UniformDelay(derive_rng(config.seed, "delays"))
         self.adversary = adversary
-        self.network = Network(self.scheduler, config, adversary, self.metrics)
+        self.network = Network(
+            self.scheduler, config, adversary, self.metrics, obs=observability
+        )
 
         self.dealer: CoinDealer | None = None
         if coin_mode != "ideal":

@@ -94,6 +94,7 @@ class DagRiderNode(Process):
         # rest. None (the default) is the paper-faithful unbounded DAG.
         self._gc_depth = gc_depth
         self._tracer = tracer  # optional repro.sim.trace.Tracer
+        self._wave_ready_time: dict[int, float] = {}
 
         if block_source is None:
             block_source = BlockSource(
@@ -105,6 +106,10 @@ class DagRiderNode(Process):
 
         self.coin = self._make_coin(coin_mode, dealer)
         self._coin_mode = coin_mode
+        if self.obs is not None:
+            self._commit_latency = self.obs.registry.histogram("node.commit_latency")
+        else:
+            self._commit_latency = None
 
         share_provider = None
         if coin_mode == "piggyback":
@@ -126,6 +131,8 @@ class DagRiderNode(Process):
             on_vertex_added=self._on_vertex_added,
             coin_share_provider=share_provider,
             enable_weak_edges=enable_weak_edges,
+            on_vertex_created=self._on_vertex_created,
+            obs=self.obs,
         )
         self.store = self.builder.store
 
@@ -140,6 +147,7 @@ class DagRiderNode(Process):
             deliver=self.builder.on_r_deliver,
             **kwargs,
         )
+        self.rbc.attach_obs(self.obs)
         self.builder.attach_broadcast(self.rbc)
 
         from repro.core.ordering import DagRiderOrdering  # cycle-free import
@@ -152,6 +160,7 @@ class DagRiderNode(Process):
             a_deliver=self._record_delivery,
             clock=lambda: self.now,
             commit_quorum=commit_quorum,
+            obs=self.obs,
         )
 
     # -------------------------------------------------------------- plumbing
@@ -180,21 +189,35 @@ class DagRiderNode(Process):
             return
         self.rbc.handle(src, message)
 
-    def _on_wave_ready(self, wave: int) -> None:
+    def _emit(self, kind: str, **fields) -> None:
+        """Record one protocol event on both observability paths.
+
+        The legacy tracer (when attached) and the deployment's shared event
+        bus (when observability is on) see the same stream; either may be
+        absent independently.
+        """
         if self._tracer is not None:
-            self._tracer.record(self.now, self.pid, "wave_ready", wave=wave)
+            self._tracer.record(self.now, self.pid, kind, **fields)
+        obs = self.obs
+        if obs is not None:
+            obs.bus.emit(self.pid, kind, **fields)
+
+    def _on_wave_ready(self, wave: int) -> None:
+        self._wave_ready_time[wave] = self.now
+        self._emit("wave_ready", wave=wave)
         commits_before = len(self.ordering.commits)
         self.ordering.wave_ready(wave)
-        if self._tracer is not None:
-            for record in self.ordering.commits[commits_before:]:
-                self._tracer.record(
-                    self.now,
-                    self.pid,
-                    "commit",
-                    wave=record.wave,
-                    leaders=len(record.leader_chain),
-                    delivered=record.delivered_count,
-                )
+        for record in self.ordering.commits[commits_before:]:
+            self._emit(
+                "commit",
+                wave=record.wave,
+                leaders=len(record.leader_chain),
+                delivered=record.delivered_count,
+            )
+            if self._commit_latency is not None:
+                ready = self._wave_ready_time.get(record.wave)
+                if ready is not None:
+                    self._commit_latency.record(self.now - ready)
         self._maybe_collect()
 
     def _maybe_collect(self) -> None:
@@ -225,16 +248,20 @@ class DagRiderNode(Process):
         if horizon > self.store.collected_floor:
             self.ordering.compact_store(horizon)
 
+    def _on_vertex_created(self, vertex: Vertex) -> None:
+        self._emit(
+            "vertex_created",
+            round=vertex.round,
+            weak=len(vertex.weak_parents),
+        )
+
     def _on_vertex_added(self, vertex: Vertex) -> None:
-        if self._tracer is not None:
-            self._tracer.record(
-                self.now,
-                self.pid,
-                "vertex_added",
-                round=vertex.round,
-                source=vertex.source,
-                weak=len(vertex.weak_parents),
-            )
+        self._emit(
+            "vertex_added",
+            round=vertex.round,
+            source=vertex.source,
+            weak=len(vertex.weak_parents),
+        )
         if self._coin_mode == "piggyback" and vertex.coin_share is not None:
             wave_length = self.config.wave_length
             if vertex.round % wave_length == 1 and vertex.round > wave_length:
@@ -247,10 +274,7 @@ class DagRiderNode(Process):
     def _record_delivery(self, block: Block, round_: int, source: int) -> None:
         entry = OrderedEntry(len(self.ordered), block, round_, source, self.now)
         self.ordered.append(entry)
-        if self._tracer is not None:
-            self._tracer.record(
-                self.now, self.pid, "a_deliver", round=round_, source=source
-            )
+        self._emit("a_deliver", round=round_, source=source)
         if self._on_deliver is not None:
             self._on_deliver(entry)
 

@@ -26,12 +26,17 @@ from repro.common.config import SystemConfig
 from repro.dag.store import DagStore
 from repro.dag.vertex import Ref, Vertex
 from repro.mempool.blocks import Block, BlockSource
+from repro.obs.context import Observability
+from repro.obs.spans import PHASE_BROADCAST, PHASE_DAG_INSERT
 
 #: ``wave_ready(w)`` — the Line 12 signal to the ordering layer.
 WaveReadyCallback = Callable[[int], None]
 
 #: Fired after a vertex enters the local DAG (share extraction, stats).
 VertexAddedCallback = Callable[[Vertex], None]
+
+#: Fired just before this process's new vertex is reliably broadcast.
+VertexCreatedCallback = Callable[[Vertex], None]
 
 #: Optional provider of a piggybacked coin share for a round's new vertex.
 CoinShareProvider = Callable[[int], int | None]
@@ -50,6 +55,8 @@ class DagBuilder:
         coin_share_provider: CoinShareProvider | None = None,
         enable_weak_edges: bool = True,
         on_round_advance: Callable[[int], None] | None = None,
+        on_vertex_created: VertexCreatedCallback | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.pid = pid
         self.config = config
@@ -57,6 +64,8 @@ class DagBuilder:
         self.block_source = block_source
         self._on_wave_ready = on_wave_ready
         self._on_vertex_added = on_vertex_added
+        self._on_vertex_created = on_vertex_created
+        self._obs = obs
         self._coin_share_provider = coin_share_provider
         # Ablation hook (DESIGN.md): disabling weak edges breaks the BAB
         # Validity property — the bench demonstrates it.
@@ -152,7 +161,16 @@ class DagBuilder:
                 if self.store.contains(vertex.ref):
                     self.buffer.remove(vertex)  # equivocation-shadowed slot
                     continue
-                self.store.add(vertex)
+                if self._obs is not None:
+                    with self._obs.spans.span(
+                        self.pid,
+                        PHASE_DAG_INSERT,
+                        round=vertex.round,
+                        source=vertex.source,
+                    ):
+                        self.store.add(vertex)
+                else:
+                    self.store.add(vertex)
                 self.buffer.remove(vertex)
                 moved = True
                 progressed = True
@@ -177,11 +195,21 @@ class DagBuilder:
         if self._on_round_advance is not None:
             self._on_round_advance(self.round)
         self.round += 1
-        vertex = self._create_vertex(self.round, block)
-        self.created.append(vertex)
         if self._rbc is None:
             raise RuntimeError("DagBuilder used before attach_broadcast")
-        self._rbc.r_bcast(vertex, self.round)
+        if self._obs is not None:
+            with self._obs.spans.span(self.pid, PHASE_BROADCAST, round=self.round):
+                vertex = self._create_vertex(self.round, block)
+                self.created.append(vertex)
+                if self._on_vertex_created is not None:
+                    self._on_vertex_created(vertex)
+                self._rbc.r_bcast(vertex, self.round)
+        else:
+            vertex = self._create_vertex(self.round, block)
+            self.created.append(vertex)
+            if self._on_vertex_created is not None:
+                self._on_vertex_created(vertex)
+            self._rbc.r_bcast(vertex, self.round)
         return True
 
     def _round_quorum(self, round_: int) -> int:

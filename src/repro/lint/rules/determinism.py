@@ -92,7 +92,7 @@ class WallClockRule(Rule):
         "wall-clock read (time.time/monotonic/perf_counter, datetime.now) "
         "in simulated-time code; use the scheduler clock"
     )
-    packages = frozenset({"sim", "dag", "core", "broadcast", "baselines"})
+    packages = frozenset({"sim", "dag", "core", "broadcast", "baselines", "obs"})
 
     def visit_Call(self, node: ast.Call) -> None:
         origin = call_origin(node, self.context.imports)

@@ -1,0 +1,84 @@
+"""Deterministic event bus: append-only log plus synchronous subscribers.
+
+One :class:`EventBus` is shared by every process of a deployment (the
+simulator's, or a whole TCP cluster's), so the log interleaves events
+exactly as they happened under the owning clock. Emission is synchronous
+and allocation-light; with no subscribers it is an append.
+
+The clock is *injected*: the simulator binds ``Scheduler.now``, the TCP
+runtime binds its monotonic :class:`repro.runtime.transport.AsyncScheduler`.
+The bus itself never reads time on its own — the default clock is the
+constant 0.0, which keeps a bare bus usable in unit tests and keeps this
+module clean under the determinism lint's wall-clock rule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.obs.events import Event, Scalar, make_fields
+
+#: ``subscriber(event)`` — called synchronously for every emitted event.
+Subscriber = Callable[[Event], None]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class EventBus:
+    """Append-only, clock-stamped event log."""
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.events: list[Event] = []
+        self._clock = clock if clock is not None else _zero_clock
+        self._subscribers: list[Subscriber] = []
+
+    # ---------------------------------------------------------------- clock
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Bind the time source future emits are stamped with."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        """The bound clock's current time."""
+        return self._clock()
+
+    # ----------------------------------------------------------------- emit
+
+    def emit(self, pid: int, kind: str, **fields: Scalar) -> Event:
+        """Append one event stamped with the bound clock's current time."""
+        return self.emit_at(self._clock(), pid, kind, **fields)
+
+    def emit_at(self, time: float, pid: int, kind: str, **fields: Scalar) -> Event:
+        """Append one event with an explicit time stamp."""
+        event = Event(time, pid, kind, make_fields(fields))
+        self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Call ``subscriber`` synchronously for every future emit."""
+        self._subscribers.append(subscriber)
+
+    # ---------------------------------------------------------------- views
+
+    def of_kind(self, kind: str, pid: int | None = None) -> list[Event]:
+        """Events of one kind, optionally restricted to one process."""
+        return [
+            event
+            for event in self.events
+            if event.kind == kind and (pid is None or event.pid == pid)
+        ]
+
+    def kinds(self) -> set[str]:
+        """All event kinds seen so far."""
+        return {event.kind for event in self.events}
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

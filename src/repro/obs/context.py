@@ -1,0 +1,55 @@
+"""The bundle a deployment hands to every layer: bus + registry + spans.
+
+One :class:`Observability` instance per deployment (simulated or TCP): the
+network wires its clock in at construction, and every process, broadcast
+endpoint, ordering state machine, and reliable link that sees it emits
+into the shared bus/registry. Everything degrades to no-ops when a layer
+is handed ``None`` instead — observability is strictly opt-in and costs a
+``None`` check on the hot paths when off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.obs.bus import EventBus
+from repro.obs.events import Scalar
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracker
+
+
+class ClockLike(Protocol):
+    """Anything exposing a monotonic ``now`` (both schedulers qualify)."""
+
+    @property
+    def now(self) -> float: ...  # pragma: no cover - protocol
+
+
+class Observability:
+    """Shared event bus, metrics registry, and span tracker."""
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.bus = EventBus(clock)
+        self.registry = MetricsRegistry()
+        self.spans = SpanTracker(self.bus)
+        self._clock_bound = clock is not None
+
+    def attach_clock(self, scheduler: ClockLike) -> None:
+        """Bind the bus clock to ``scheduler.now`` — first binding wins.
+
+        The first-wins rule lets a cluster of TCP networks share one bus:
+        every network offers its scheduler, the first one becomes the
+        cluster clock, and all events land on a single time axis.
+        """
+        if self._clock_bound:
+            return
+        self._clock_bound = True
+        self.bus.set_clock(lambda: scheduler.now)
+
+    def emit(self, pid: int, kind: str, **fields: Scalar) -> None:
+        """Shorthand for ``self.bus.emit``."""
+        self.bus.emit(pid, kind, **fields)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """The registry's deterministic metric snapshot."""
+        return self.registry.as_dict()

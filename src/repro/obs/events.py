@@ -1,0 +1,60 @@
+"""The structured event record every layer emits.
+
+An :class:`Event` is one observation at one process: a time stamp from the
+owning clock (simulated time in the simulator — never the wall clock, the
+determinism lint enforces it), the process id, a ``kind`` string, and a
+flat bag of scalar fields. Fields are stored as a *sorted* tuple of
+``(key, value)`` pairs so that events hash, compare, and serialize
+deterministically regardless of keyword-argument order at the emit site.
+
+Field values are restricted to JSON scalars (``int``/``float``/``str``/
+``bool``/``None``): anything richer would make the JSONL export lossy or
+nondeterministic. Emitters that want to attach an object put its stable
+identity in the fields (a pid, a round, a wave number), not the object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+#: The only value types an event field may carry (JSON scalars).
+Scalar = Union[int, float, str, bool, None]
+
+_SCALAR_TYPES = (int, float, str, bool, type(None))
+
+
+def make_fields(fields: Mapping[str, object]) -> tuple[tuple[str, Scalar], ...]:
+    """Normalize a kwargs mapping into the sorted, validated tuple form."""
+    items: list[tuple[str, Scalar]] = []
+    for key in sorted(fields):
+        value = fields[key]
+        if not isinstance(value, _SCALAR_TYPES):
+            raise TypeError(
+                f"event field {key!r} has non-scalar value of type "
+                f"{type(value).__name__}; emit a stable identifier instead"
+            )
+        items.append((key, value))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observation: ``(time, pid, kind)`` plus sorted scalar fields."""
+
+    time: float
+    pid: int
+    kind: str
+    fields: tuple[tuple[str, Scalar], ...] = ()
+
+    def get(self, key: str, default: Scalar = None) -> Scalar:
+        """The value of field ``key`` (``default`` when absent)."""
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    @property
+    def detail(self) -> dict[str, Scalar]:
+        """The fields as a plain dict (insertion order = sorted key order)."""
+        return dict(self.fields)

@@ -1,0 +1,143 @@
+"""Versioned JSONL trace export and import.
+
+Layout of a trace file (one JSON document per line):
+
+* line 1 — the **header**: ``{"schema": "repro.obs.trace", "version": 1,
+  "meta": {...}}``. ``meta`` is caller-provided run identification (cell
+  name, seed, n, ...) and must itself be deterministic if byte-identical
+  traces are wanted — no timestamps.
+* one line per **event**, in emit order: ``{"kind": ..., "pid": ...,
+  "t": ...}`` plus ``"f": {...}`` when the event has fields. Keys are
+  sorted and separators compact, so a deterministic event sequence
+  serializes to byte-identical text.
+* optionally one **metrics footer**: ``{"schema": "repro.obs.metrics",
+  "version": 1, "metrics": {...}}`` carrying registry / wire-accounting
+  snapshots.
+
+Two runs of the same seeded simulator cell therefore produce files that
+``diff`` (the Unix tool *or* ``python -m repro.obs diff``) as empty — the
+property the same-seed determinism test asserts byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+from repro.obs.events import Event, make_fields
+
+#: Header schema identifier; bump :data:`TRACE_VERSION` on layout changes.
+TRACE_SCHEMA = "repro.obs.trace"
+METRICS_SCHEMA = "repro.obs.metrics"
+TRACE_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A trace file that does not follow the schema above."""
+
+
+def _dumps(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def event_record(event: Event) -> dict[str, object]:
+    """One event as its JSON-ready line dict."""
+    record: dict[str, object] = {"kind": event.kind, "pid": event.pid, "t": event.time}
+    if event.fields:
+        record["f"] = dict(event.fields)
+    return record
+
+
+def record_event(record: dict[str, object]) -> Event:
+    """Parse one event line dict back into an :class:`Event`."""
+    try:
+        time = record["t"]
+        pid = record["pid"]
+        kind = record["kind"]
+    except KeyError as missing:
+        raise TraceFormatError(f"event line missing key {missing}") from None
+    fields = record.get("f", {})
+    if not isinstance(fields, dict):
+        raise TraceFormatError(f"event field bag is not an object: {fields!r}")
+    return Event(float(time), int(pid), str(kind), make_fields(fields))  # type: ignore[arg-type]
+
+
+@dataclass
+class Trace:
+    """A loaded trace: header meta, events in order, optional metrics."""
+
+    meta: dict[str, object] = field(default_factory=dict)
+    events: list[Event] = field(default_factory=list)
+    metrics: dict[str, object] | None = None
+    version: int = TRACE_VERSION
+
+
+def dumps_trace(
+    events: Iterable[Event],
+    meta: dict[str, object] | None = None,
+    metrics: dict[str, object] | None = None,
+) -> str:
+    """Serialize a trace to JSONL text (trailing newline included)."""
+    lines = [
+        _dumps(
+            {"meta": meta or {}, "schema": TRACE_SCHEMA, "version": TRACE_VERSION}
+        )
+    ]
+    lines.extend(_dumps(event_record(event)) for event in events)
+    if metrics is not None:
+        lines.append(
+            _dumps({"metrics": metrics, "schema": METRICS_SCHEMA, "version": TRACE_VERSION})
+        )
+    return "\n".join(lines) + "\n"
+
+
+def dump_trace(
+    path: str,
+    events: Iterable[Event],
+    meta: dict[str, object] | None = None,
+    metrics: dict[str, object] | None = None,
+) -> None:
+    """Write a trace file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_trace(events, meta=meta, metrics=metrics))
+
+
+def _load_lines(handle: IO[str]) -> Trace:
+    header_line = handle.readline()
+    if not header_line.strip():
+        raise TraceFormatError("empty trace file")
+    header = json.loads(header_line)
+    if header.get("schema") != TRACE_SCHEMA:
+        raise TraceFormatError(
+            f"not a {TRACE_SCHEMA} file (schema={header.get('schema')!r})"
+        )
+    version = header.get("version")
+    if version != TRACE_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {version!r} (this build reads {TRACE_VERSION})"
+        )
+    trace = Trace(meta=header.get("meta", {}), version=version)
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("schema") == METRICS_SCHEMA:
+            trace.metrics = record.get("metrics", {})
+            continue
+        trace.events.append(record_event(record))
+    return trace
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace file written by :func:`dump_trace`."""
+    with open(path, encoding="utf-8") as handle:
+        return _load_lines(handle)
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse JSONL trace text produced by :func:`dumps_trace`."""
+    import io
+
+    return _load_lines(io.StringIO(text))

@@ -1,0 +1,195 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instruments are deliberately minimal and deterministic:
+
+* a :class:`Counter` only increments;
+* a :class:`Gauge` holds the last value set (plus the max it ever saw);
+* a :class:`Histogram` has *fixed* bucket bounds chosen at creation, so
+  two runs that observe the same value sequence produce byte-identical
+  snapshots — no dynamic rebucketing, no quantile sketches.
+
+The :class:`MetricsRegistry` is a flat name → instrument map with
+create-or-get semantics; :meth:`MetricsRegistry.as_dict` renders a
+deterministic (sorted-key) snapshot suitable for JSON export next to a
+trace or a bench cell.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Union
+
+#: Default histogram bounds: a coarse log-ish scale that suits both
+#: simulated-time latencies (O(1)–O(100) time units) and small counts.
+DEFAULT_BOUNDS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, by: int = 1) -> None:
+        """Add ``by`` (must be >= 0) to the counter."""
+        if by < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (by={by})")
+        self.value += by
+
+
+class Gauge:
+    """Last-value instrument that also tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level of the measured quantity."""
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``bounds`` are inclusive upper bounds in strictly increasing order; an
+    observation lands in the first bucket whose bound is >= the value, or
+    in the implicit overflow bucket past the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[float] = DEFAULT_BOUNDS) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        if any(a >= b for a, b in zip(self.bounds, self.bounds[1:])):
+            raise ValueError(
+                f"histogram {name} bounds must be strictly increasing: {self.bounds}"
+            )
+        self.counts = [0] * (len(self.bounds) + 1)  # last = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def record(self, value: float) -> None:
+        """Count one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_labels(self) -> list[str]:
+        """Human/JSON labels, one per bucket including overflow."""
+        labels = [f"le:{bound:g}" for bound in self.bounds]
+        labels.append(f"gt:{self.bounds[-1]:g}")
+        return labels
+
+    def as_dict(self) -> dict[str, object]:
+        """Deterministic snapshot of this histogram."""
+        return {
+            "buckets": dict(zip(self.bucket_labels(), self.counts)),
+            "count": self.count,
+            "max": self.max,
+            "mean": self.mean,
+            "min": self.min,
+            "sum": self.total,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Flat name → instrument map with create-or-get semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+
+    def _get(self, name: str, kind: type) -> Instrument | None:
+        existing = self._instruments.get(name)
+        if existing is None:
+            return None
+        if type(existing) is not kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}, not {kind.__name__}"
+            )
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        existing = self._get(name, Counter)
+        if existing is None:
+            existing = self._instruments[name] = Counter(name)
+        assert isinstance(existing, Counter)
+        return existing
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        existing = self._get(name, Gauge)
+        if existing is None:
+            existing = self._instruments[name] = Gauge(name)
+        assert isinstance(existing, Gauge)
+        return existing
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        The bounds are fixed by the *first* caller; later callers must pass
+        identical bounds (or rely on the default) — silently diverging
+        bucket layouts would make snapshots incomparable.
+        """
+        existing = self._get(name, Histogram)
+        if existing is None:
+            existing = self._instruments[name] = Histogram(name, bounds)
+        assert isinstance(existing, Histogram)
+        if existing.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} re-registered with different bounds"
+            )
+        return existing
+
+    def names(self) -> list[str]:
+        """All instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """Deterministic snapshot: ``{counters: {...}, gauges: {...}, ...}``."""
+        counters: dict[str, object] = {}
+        gauges: dict[str, object] = {}
+        histograms: dict[str, object] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = {
+                    "max": instrument.max_value,
+                    "value": instrument.value,
+                }
+            else:
+                histograms[name] = instrument.as_dict()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

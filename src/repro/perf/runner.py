@@ -1,6 +1,6 @@
 """Run one benchmark cell and report metrics, timing, and optional profile.
 
-The result of a cell is split into two sections on purpose:
+The result of a cell is split into three sections on purpose:
 
 * ``metrics`` — deterministic quantities (events, bits, commits,
   transactions); identical for the same cell on any machine, any worker
@@ -8,6 +8,12 @@ The result of a cell is split into two sections on purpose:
   The regression gate compares these exactly.
 * ``timing`` — wall-clock and derived throughput; machine-dependent, only
   ever compared within a tolerance (or advisorily).
+* ``observability`` — the per-cell breakdowns from the deployment's
+  :class:`repro.obs.context.Observability` bundle: per-wave commit latency,
+  the per-tag control-overhead split of the §3 bit accounting, and the
+  metric-registry snapshot. Deterministic too, but *not* part of the exact
+  compare (:func:`repro.perf.sweep.metric_payload` serializes only params
+  and metrics), so the breakdowns can grow without invalidating baselines.
 """
 
 from __future__ import annotations
@@ -19,7 +25,11 @@ import time
 from typing import TYPE_CHECKING
 
 from repro.common.config import SystemConfig
+from repro.common.rng import derive_rng
 from repro.core.harness import DagRiderDeployment
+from repro.obs.analyze import wave_stats
+from repro.obs.context import Observability
+from repro.sim.adversary import SlowProcessDelay, UniformDelay
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.cells import BenchCell
@@ -29,16 +39,72 @@ class CellFailure(RuntimeError):
     """A cell did not reach its wave target within its event budget."""
 
 
-def _build(cell: "BenchCell") -> DagRiderDeployment:
+def _build(
+    cell: "BenchCell",
+    observability: Observability | None = None,
+    slow: tuple[int, float] | None = None,
+) -> DagRiderDeployment:
+    adversary = None
+    if slow is not None:
+        # Same base delay stream as the default deployment (same seed, same
+        # label), so the only difference from a clean run is the penalty —
+        # diffing the two traces isolates exactly what the slow peer cost.
+        pid, penalty = slow
+        adversary = SlowProcessDelay(
+            UniformDelay(derive_rng(cell.seed, "delays")), {pid}, penalty
+        )
     return DagRiderDeployment(
         SystemConfig(n=cell.n, seed=cell.seed),
+        adversary=adversary,
         broadcast=cell.broadcast,
         batch_size=cell.batch_size,
         tx_bytes=cell.tx_bytes,
+        observability=observability,
     )
 
 
-def _collect(cell: "BenchCell", deployment: DagRiderDeployment, wall: float) -> dict:
+def _observability_section(
+    deployment: DagRiderDeployment, observability: Observability
+) -> dict:
+    """Per-cell commit-latency and control-overhead breakdowns."""
+    metrics = deployment.metrics
+    correct_bits = metrics.correct_bits_total
+    control: dict[str, dict[str, object]] = {}
+    for tag in sorted(metrics.messages_by_tag):
+        bits = metrics.bits_by_tag.get(tag, 0)
+        control[tag] = {
+            "messages": metrics.messages_by_tag[tag],
+            "bits": bits,
+            "bits_fraction": bits / correct_bits if correct_bits else 0.0,
+        }
+    waves = [
+        {
+            "wave": stat.wave,
+            "ready": stat.ready_time,
+            "first_commit": stat.first_commit,
+            "last_commit": stat.last_commit,
+            "latency": stat.latency,
+            "committers": stat.committers,
+            "delivered": stat.delivered,
+        }
+        for stat in wave_stats(observability.bus.events).values()
+    ]
+    return {
+        "events": len(observability.bus),
+        "waves": waves,
+        "control_overhead": control,
+        "registry": observability.snapshot(),
+        "scheduler": deployment.scheduler.stats(),
+        "wire": metrics.snapshot(),
+    }
+
+
+def _collect(
+    cell: "BenchCell",
+    deployment: DagRiderDeployment,
+    wall: float,
+    observability: Observability,
+) -> dict:
     metrics = deployment.metrics
     nodes = deployment.correct_nodes
     events = deployment.scheduler.events_processed
@@ -59,6 +125,7 @@ def _collect(cell: "BenchCell", deployment: DagRiderDeployment, wall: float) -> 
             "wall_clock_s": wall,
             "events_per_sec": events / wall if wall > 0 else 0.0,
         },
+        "observability": _observability_section(deployment, observability),
     }
 
 
@@ -68,8 +135,24 @@ def run_cell(cell: "BenchCell") -> dict:
     Top-level and picklable so :mod:`repro.perf.sweep` can ship it to
     ``ProcessPoolExecutor`` workers.
     """
+    result, _observability = run_cell_traced(cell)
+    return result
+
+
+def run_cell_traced(
+    cell: "BenchCell", slow: tuple[int, float] | None = None
+) -> tuple[dict, Observability]:
+    """Like :func:`run_cell`, returning the observability bundle too.
+
+    The bundle's bus holds the full protocol event trace (exportable with
+    :func:`repro.obs.export.dump_trace`). Pass ``slow=(pid, penalty)`` to
+    run the cell under :class:`repro.sim.adversary.SlowProcessDelay` over
+    the same base delay stream — the clean-vs-perturbed trace diff then
+    shows which waves paid for the slow process.
+    """
+    observability = Observability()
     start = time.perf_counter()
-    deployment = _build(cell)
+    deployment = _build(cell, observability=observability, slow=slow)
     reached = deployment.run_until_wave(cell.wave_target, max_events=cell.max_events)
     wall = time.perf_counter() - start
     if not reached:
@@ -79,7 +162,7 @@ def run_cell(cell: "BenchCell") -> dict:
         )
     deployment.check_total_order()
     deployment.check_integrity()
-    return _collect(cell, deployment, wall)
+    return _collect(cell, deployment, wall, observability), observability
 
 
 def run_cell_profiled(cell: "BenchCell", top: int = 30) -> tuple[dict, str]:
@@ -89,8 +172,9 @@ def run_cell_profiled(cell: "BenchCell", top: int = 30) -> tuple[dict, str]:
     functions by cumulative time plus the per-tag message counts — the two
     views needed to decide where the next hot-loop PR should aim.
     """
+    observability = Observability()
     start = time.perf_counter()
-    deployment = _build(cell)
+    deployment = _build(cell, observability=observability)
     profiler = cProfile.Profile()
     profiler.enable()
     reached = deployment.run_until_wave(cell.wave_target, max_events=cell.max_events)
@@ -101,7 +185,7 @@ def run_cell_profiled(cell: "BenchCell", top: int = 30) -> tuple[dict, str]:
             f"cell {cell.name} missed wave {cell.wave_target} "
             f"within {cell.max_events} events"
         )
-    result = _collect(cell, deployment, wall)
+    result = _collect(cell, deployment, wall, observability)
 
     out = io.StringIO()
     out.write(f"== {cell.name}: cProfile, top {top} by cumulative time ==\n")

@@ -20,7 +20,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.cells import BenchCell
 
 #: Bump on any change to the document layout or metric definitions.
-SCHEMA_VERSION = 1
+#: v2: cells carry an ``observability`` section (per-wave commit latency,
+#: control-overhead breakdown, registry snapshot) next to metrics/timing.
+SCHEMA_VERSION = 2
 
 
 def run_sweep(

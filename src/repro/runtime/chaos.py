@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_rng
+from repro.obs.context import Observability
 
 _RATES = ("drop_rate", "duplicate_rate", "delay_rate", "dial_fail_rate")
 
@@ -91,6 +92,9 @@ class ChaosTransport:
     def __init__(self, seed: int, config: ChaosConfig):
         self.seed = seed
         self.config = config
+        #: Optional event sink — the cluster attaches its bundle so injected
+        #: faults land in the same trace as the protocol/link events.
+        self.obs: Observability | None = None
         self.first_attempts = 0
         self.drops = 0
         self.duplicates = 0
@@ -121,14 +125,20 @@ class ChaosTransport:
         drop = self._roll(src, dst, seq, "drop") < cfg.drop_rate
         if drop:
             self.drops += 1
+            if self.obs is not None:
+                self.obs.emit(src, "chaos_drop", dst=dst, seq=seq)
             return FrameFate(drop=True)
         duplicate = self._roll(src, dst, seq, "dup") < cfg.duplicate_rate
         if duplicate:
             self.duplicates += 1
+            if self.obs is not None:
+                self.obs.emit(src, "chaos_duplicate", dst=dst, seq=seq)
         delay = 0.0
         if self._roll(src, dst, seq, "delay") < cfg.delay_rate:
             delay = cfg.max_delay * self._roll(src, dst, seq, "delay-size")
             self.delays += 1
+            if self.obs is not None:
+                self.obs.emit(src, "chaos_delay", dst=dst, seq=seq, delay=delay)
         return FrameFate(drop=False, duplicate=duplicate, delay=delay)
 
     def sever_after_write(self, src: int, dst: int, seq: int) -> bool:
@@ -145,6 +155,8 @@ class ChaosTransport:
         if self._write_counts[link] % self.config.sever_every == 0:
             self.severs += 1
             self.severs_by_link[link] += 1
+            if self.obs is not None:
+                self.obs.emit(src, "chaos_sever", dst=dst, seq=seq)
             return True
         return False
 
@@ -152,6 +164,8 @@ class ChaosTransport:
         """True when dial ``attempt`` on the ``src -> dst`` link should fail."""
         if self._roll(src, dst, "dial", attempt) < self.config.dial_fail_rate:
             self.dial_failures += 1
+            if self.obs is not None:
+                self.obs.emit(src, "chaos_dial_fail", dst=dst, attempt=attempt)
             return True
         return False
 

@@ -10,6 +10,7 @@ import asyncio
 from repro.common.config import SystemConfig
 from repro.core.node import DagRiderNode
 from repro.crypto.dealer import CoinDealer
+from repro.obs.context import Observability
 from repro.runtime.transport import LinkConfig, TcpNetwork
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,6 +40,7 @@ class LocalCluster:
         coin_mode: str = "ideal",
         link_config: LinkConfig | None = None,
         chaos: "ChaosTransport | None" = None,
+        observability: Observability | None = None,
         **node_kwargs,
     ):
         self.config = config
@@ -48,6 +50,9 @@ class LocalCluster:
         self._coin_mode = coin_mode
         self._link_config = link_config
         self._chaos = chaos
+        self.observability = observability
+        if chaos is not None and observability is not None:
+            chaos.obs = observability
         self._node_kwargs = node_kwargs
         self._stopped = False
         self.networks: list[TcpNetwork] = []
@@ -65,6 +70,7 @@ class LocalCluster:
                 self.peers,
                 link_config=self._link_config,
                 chaos=self._chaos,
+                obs=self.observability,
             )
             await network.start()
             self.networks.append(network)

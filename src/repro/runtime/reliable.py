@@ -37,6 +37,7 @@ from repro.codec import decode_message, encode_message
 from repro.codec.frames import LinkAck, LinkHeartbeat
 from repro.common.errors import ConfigurationError, WireFormatError
 from repro.common.rng import derive_rng
+from repro.obs.context import Observability
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.chaos import ChaosTransport
@@ -161,6 +162,7 @@ class ReliableLink:
         seed: int,
         n: int,
         chaos: "ChaosTransport | None" = None,
+        obs: Observability | None = None,
     ):
         self.pid = pid
         self.dst = dst
@@ -171,6 +173,7 @@ class ReliableLink:
         self._config = config
         self._n = n
         self._chaos = chaos
+        self._obs = obs
         self._rng = derive_rng(seed, "link-jitter", pid, dst)
         self._unacked: deque[tuple[int, bytes]] = deque()
         self._next_seq = 1
@@ -267,12 +270,23 @@ class ReliableLink:
                 if writer is not None:
                     writer.close()
                 self._stats.retries += 1
+                if self._obs is not None:
+                    self._obs.emit(
+                        self.pid,
+                        "link_retry",
+                        dst=self.dst,
+                        attempt=self._dial_attempts,
+                    )
+                    self._obs.registry.counter("link.retries").inc()
                 if (
                     not self.degraded
                     and self._loop.time() - self._down_since >= cfg.degrade_after
                 ):
                     self.degraded = True
                     self._trim_degraded()
+                    if self._obs is not None:
+                        self._obs.emit(self.pid, "link_degraded", dst=self.dst)
+                        self._obs.registry.counter("link.degraded").inc()
                 await asyncio.sleep(backoff * (1.0 - cfg.jitter * self._rng.random()))
                 backoff = min(backoff * cfg.backoff_factor, cfg.max_backoff)
                 continue
@@ -281,6 +295,15 @@ class ReliableLink:
             self._connections += 1
             if self._connections > 1:
                 self._stats.reconnects += 1
+                if self._obs is not None:
+                    self._obs.emit(
+                        self.pid,
+                        "link_reconnect",
+                        dst=self.dst,
+                        connection=self._connections,
+                        unacked=len(self._unacked),
+                    )
+                    self._obs.registry.counter("link.reconnects").inc()
             self.degraded = False
             self._down_since = None
             self._last_rx = self._loop.time()
@@ -310,6 +333,11 @@ class ReliableLink:
             self._stats.frames_sent += 1
             if redelivery:
                 self._stats.redeliveries += 1
+                if self._obs is not None:
+                    self._obs.emit(
+                        self.pid, "link_redelivery", dst=self.dst, seq=seq
+                    )
+                    self._obs.registry.counter("link.redeliveries").inc()
             self._check_liveness(idle=False)
 
     def _next_unwritten(self) -> tuple[int, bytes] | None:

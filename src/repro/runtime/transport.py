@@ -30,6 +30,7 @@ from repro.codec import decode_message, encode_message
 from repro.codec.frames import LinkAck, LinkHeartbeat
 from repro.common.config import SystemConfig
 from repro.common.errors import WireFormatError
+from repro.obs.context import Observability
 from repro.runtime.reliable import (
     CONNECTION_ERRORS,
     CONTROL_SEQ,
@@ -101,6 +102,7 @@ class TcpNetwork:
         loop: asyncio.AbstractEventLoop | None = None,
         link_config: LinkConfig | None = None,
         chaos: "ChaosTransport | None" = None,
+        obs: Observability | None = None,
     ):
         self.config = config
         self.pid = pid
@@ -111,6 +113,11 @@ class TcpNetwork:
         self.link_config = link_config if link_config is not None else LinkConfig()
         self.link_stats = LinkStats()
         self.chaos = chaos
+        self.obs = obs
+        if obs is not None:
+            # First network in wins: a whole cluster's events share one
+            # monotonic time axis (see Observability.attach_clock).
+            obs.attach_clock(self.scheduler)
         self._loop = loop
         self._process: "Process | None" = None
         self._server: asyncio.AbstractServer | None = None
@@ -175,6 +182,7 @@ class TcpNetwork:
                 seed=self.config.seed,
                 n=self.config.n,
                 chaos=self.chaos,
+                obs=self.obs,
             )
             self._links[dst] = link
         return link

@@ -29,6 +29,8 @@ from typing import TYPE_CHECKING
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ProtocolError
+from repro.obs.context import Observability
+from repro.obs.metrics import Histogram
 from repro.sim.adversary import Adversary
 from repro.sim.metrics import MetricsCollector
 from repro.sim.scheduler import Scheduler
@@ -47,11 +49,19 @@ class Network:
         config: SystemConfig,
         adversary: Adversary,
         metrics: MetricsCollector | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.scheduler = scheduler
         self.config = config
         self.adversary = adversary
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.obs = obs
+        self._delay_hist: Histogram | None = None
+        if obs is not None:
+            # The simulator's clock is the one deterministic time axis; every
+            # event any layer emits through this deployment rides on it.
+            obs.attach_clock(scheduler)
+            self._delay_hist = obs.registry.histogram("net.delay")
         self._processes: dict[int, "Process"] = {}
         self._corrupted: set[int] = set(config.byzantine)
         # Stable bound-method references: scheduler heap entries carry these
@@ -89,12 +99,17 @@ class Network:
             )
         self._corrupted.add(pid)
         now = self.scheduler.now
+        dropped = 0
         for handle, args in self.scheduler.pending_calls(self._deliver_cb):
             src, dst, message = args
             if src != pid or src == dst:
                 continue
             if self.adversary.should_drop(src, dst, message, now):
                 self.scheduler.cancel(handle)
+                dropped += 1
+        if self.obs is not None:
+            self.obs.emit(pid, "corrupt", in_flight_dropped=dropped)
+            self.obs.registry.counter("net.corruptions").inc()
 
     def is_correct(self, pid: int) -> bool:
         """True when ``pid`` has not been corrupted."""
@@ -126,6 +141,10 @@ class Network:
             raise ProtocolError(f"adversary returned invalid delay {delay}")
         correct_pair = self.is_correct(src) and self.is_correct(dst)
         self.metrics.record_delay(delay, correct_pair)
+        if self._delay_hist is not None and correct_pair:
+            # Aggregate-only on this per-message hot path: one histogram
+            # bucket increment, no per-send event allocation.
+            self._delay_hist.record(delay)
 
         self.scheduler.call_later(delay, self._deliver_cb, src, dst, message)
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.common.config import SystemConfig
+from repro.obs.context import Observability
+from repro.obs.events import Scalar
 from repro.sim.network import Network
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -33,6 +35,17 @@ class Process:
     def now(self) -> float:
         """Current simulated time."""
         return self.network.scheduler.now
+
+    @property
+    def obs(self) -> Observability | None:
+        """The deployment's observability bundle (None when disabled)."""
+        return self.network.obs
+
+    def emit(self, kind: str, **fields: Scalar) -> None:
+        """Emit an event for this process; no-op when observability is off."""
+        obs = self.network.obs
+        if obs is not None:
+            obs.bus.emit(self.pid, kind, **fields)
 
     def start(self) -> None:
         """Called once at simulation start; override to kick off the protocol."""

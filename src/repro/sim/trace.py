@@ -1,16 +1,28 @@
-"""Structured protocol-event tracing.
+"""Structured protocol-event tracing (compatibility shim over ``repro.obs``).
 
 A :class:`Tracer` collects timestamped protocol events (vertex additions,
 wave signals, commits, deliveries) from any node that is handed one. Tests
 use traces to assert cross-event orderings (every delivery follows a
 commit, commits follow their wave signal, ...) and the CLI uses them for
 verbose run inspection.
+
+.. deprecated::
+    New code should use :class:`repro.obs.bus.EventBus` (via a deployment's
+    ``observability`` argument) instead of handing nodes a ``Tracer``; the
+    bus feeds the same event stream into the metrics/span/export tooling.
+    This shim routes every :meth:`Tracer.record` through the typed
+    :class:`repro.obs.events.Event` — field values must be JSON scalars
+    (``int``/``float``/``str``/``bool``/``None``), which the old untyped
+    ``**detail: object`` signature never enforced.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from repro.obs.bus import EventBus
+from repro.obs.events import Scalar
 
 
 @dataclass(frozen=True)
@@ -20,18 +32,25 @@ class TraceEvent:
     time: float
     pid: int
     kind: str
-    detail: dict = field(default_factory=dict, compare=False)
+    detail: dict[str, Scalar] = field(default_factory=dict, compare=False)
 
 
 class Tracer:
-    """Append-only event log shared by any number of nodes."""
+    """Append-only event log shared by any number of nodes.
 
-    def __init__(self) -> None:
+    Internally backed by a :class:`repro.obs.bus.EventBus`: every recorded
+    event is validated and normalized by the typed event dataclass before
+    the compatibility :class:`TraceEvent` view is appended.
+    """
+
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self.bus = bus if bus is not None else EventBus()
         self.events: list[TraceEvent] = []
 
-    def record(self, time: float, pid: int, kind: str, **detail: object) -> None:
-        """Append one event."""
-        self.events.append(TraceEvent(time, pid, kind, detail))
+    def record(self, time: float, pid: int, kind: str, **detail: Scalar) -> None:
+        """Append one event (values must be JSON scalars — see module note)."""
+        event = self.bus.emit_at(time, pid, kind, **detail)
+        self.events.append(TraceEvent(event.time, event.pid, event.kind, event.detail))
 
     def of_kind(self, kind: str, pid: int | None = None) -> list[TraceEvent]:
         """Events of one kind, optionally restricted to one process."""

@@ -1,0 +1,172 @@
+"""Observability end to end: determinism, fault diffing, runtime traces.
+
+The acceptance contract of the observability layer:
+
+* two same-seed runs of a benchmark cell export *byte-identical* JSONL
+  traces (same property class as the ``BENCH_sim.json`` metric gate);
+* a clean run diffed against a perturbed run of the same seeded cell
+  pinpoints the waves whose commit latency changed;
+* a chaos-injected TCP cluster's trace carries the fault and redelivery
+  event kinds a clean cluster's trace lacks.
+"""
+
+import asyncio
+
+from repro.common.config import SystemConfig
+from repro.obs import Observability, diff_traces, dumps_trace, loads_trace
+from repro.obs.cli import main as obs_main
+from repro.perf.cells import smoke_cells
+from repro.perf.runner import run_cell_traced
+from repro.runtime.chaos import ChaosConfig, ChaosTransport
+from repro.runtime.cluster import LocalCluster
+from repro.runtime.reliable import LinkConfig
+
+#: Distinct port bases so parallel test runs cannot collide (chaos tests
+#: use 21_000-22_000).
+PORTS = iter(range(22_000, 23_000, 16))
+
+FAST_LINKS = LinkConfig(initial_backoff=0.02, max_backoff=0.3)
+
+
+def _export(cell, slow=None):
+    result, observability = run_cell_traced(cell, slow=slow)
+    meta = dict(result["params"])
+    return dumps_trace(
+        observability.bus.events, meta=meta, metrics=observability.snapshot()
+    )
+
+
+class TestSimDeterminism:
+    def test_same_seed_traces_byte_identical(self):
+        cell = smoke_cells(base_seed=1)[0]
+        assert _export(cell) == _export(cell)
+
+    def test_same_seed_diff_is_empty(self):
+        cell = smoke_cells(base_seed=1)[0]
+        trace_a = loads_trace(_export(cell))
+        trace_b = loads_trace(_export(cell))
+        diff = diff_traces(trace_a.events, trace_b.events)
+        assert diff.identical
+        assert diff.empty
+
+    def test_different_seed_traces_differ(self):
+        cell_a = smoke_cells(base_seed=1)[0]
+        cell_b = smoke_cells(base_seed=2)[0]
+        assert _export(cell_a) != _export(cell_b)
+
+
+class TestCleanVsPerturbedDiff:
+    def test_slow_process_changes_wave_latency(self):
+        cell = smoke_cells(base_seed=1)[0]
+        clean = loads_trace(_export(cell))
+        slow = loads_trace(_export(cell, slow=(0, 1.5)))
+        diff = diff_traces(clean.events, slow.events)
+        assert not diff.empty
+        # Every decided wave paid sim-time for the slow process.
+        changed_waves = {change.wave for change in diff.wave_changes}
+        assert changed_waves >= set(range(1, cell.wave_target + 1))
+        assert all(
+            "latency" in change.changed or "ready" in change.changed
+            for change in diff.wave_changes
+        )
+
+
+class TestRuntimeTraces:
+    def _run_cluster(self, seed, chaos_config=None, target=8):
+        observability = Observability()
+        chaos = None
+        if chaos_config is not None:
+            chaos = ChaosTransport(seed, chaos_config)
+        cluster = LocalCluster(
+            SystemConfig(n=4, seed=seed),
+            base_port=next(PORTS),
+            link_config=FAST_LINKS,
+            chaos=chaos,
+            observability=observability,
+        )
+        reached = asyncio.run(
+            cluster.run_until(
+                lambda: cluster.nodes
+                and all(len(node.ordered) >= target for node in cluster.nodes),
+                timeout=60.0,
+            )
+        )
+        assert reached
+        cluster.check_total_order()
+        return observability
+
+    def test_chaos_trace_reports_fault_kinds_clean_trace_lacks(self):
+        clean = self._run_cluster(seed=11)
+        chaotic = self._run_cluster(
+            seed=11,
+            chaos_config=ChaosConfig(
+                drop_rate=0.3, duplicate_rate=0.05, sever_every=20
+            ),
+        )
+        clean_kinds = clean.bus.kinds()
+        chaos_kinds = chaotic.bus.kinds()
+        # The protocol pipeline shows up in both.
+        assert {"wave_ready", "commit", "a_deliver"} <= clean_kinds
+        # Fault-injection and recovery kinds only under chaos.
+        assert "chaos_drop" in chaos_kinds - clean_kinds
+        assert "link_redelivery" in chaos_kinds - clean_kinds
+        # The wall-clock traces differ; a loose tolerance still reports the
+        # chaos-only kinds (kind deltas ignore tolerance entirely).
+        diff = diff_traces(
+            clean.bus.events, chaotic.bus.events, time_tolerance=1e9
+        )
+        assert "chaos_drop" in diff.kind_deltas
+        assert diff.kind_deltas["chaos_drop"][0] == 0  # only in B
+
+    def test_clean_cluster_records_protocol_metrics(self):
+        observability = self._run_cluster(seed=12)
+        snapshot = observability.snapshot()
+        assert snapshot["counters"].get("link.redeliveries", 0) == 0
+        assert "node.commit_latency" in snapshot["histograms"]
+        assert snapshot["histograms"]["node.commit_latency"]["count"] > 0
+
+
+class TestCli:
+    def test_record_summarize_diff_round_trip(self, tmp_path, capsys):
+        clean = tmp_path / "clean.jsonl"
+        clean2 = tmp_path / "clean2.jsonl"
+        slow = tmp_path / "slow.jsonl"
+        assert obs_main(["record", "bracha-n4-b4", "--out", str(clean)]) == 0
+        assert obs_main(["record", "bracha-n4-b4", "--out", str(clean2)]) == 0
+        assert (
+            obs_main(
+                ["record", "bracha-n4-b4", "--out", str(slow), "--slow", "0:1.5"]
+            )
+            == 0
+        )
+        assert clean.read_bytes() == clean2.read_bytes()
+
+        assert obs_main(["summarize", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "wave_ready" in out and "committers" in out
+
+        # diff(1) conventions: 0 when identical, 1 when differing.
+        assert obs_main(["diff", str(clean), str(clean2)]) == 0
+        assert obs_main(["diff", str(clean), str(slow)]) == 1
+        out = capsys.readouterr().out
+        assert "waves with changed commit statistics" in out
+
+    def test_filter_writes_subset(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        commits = tmp_path / "commits.jsonl"
+        assert obs_main(["record", "bracha-n4-b4", "--out", str(trace)]) == 0
+        assert (
+            obs_main(
+                ["filter", str(trace), "--kind", "commit", "--out", str(commits)]
+            )
+            == 0
+        )
+        filtered = loads_trace(commits.read_text())
+        assert filtered.events
+        assert {event.kind for event in filtered.events} == {"commit"}
+
+    def test_unknown_cell_exits_with_error(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            obs_main(["record", "no-such-cell"])

@@ -41,7 +41,7 @@ class TestDeterminism:
 class TestRunner:
     def test_cell_result_shape(self):
         result = run_cell(smoke_cells()[0])
-        assert set(result) == {"params", "metrics", "timing"}
+        assert set(result) == {"params", "metrics", "timing", "observability"}
         metrics = result["metrics"]
         assert metrics["commits"] > 0
         assert metrics["transactions"] > 0
@@ -49,6 +49,30 @@ class TestRunner:
         assert metrics["correct_bits"] <= metrics["total_bits"]
         assert metrics["decided_wave"] >= smoke_cells()[0].wave_target
         assert result["timing"]["wall_clock_s"] > 0
+
+    def test_cell_observability_section(self):
+        cell = smoke_cells()[0]
+        result = run_cell(cell)
+        section = result["observability"]
+        assert section["events"] > 0
+        # Per-wave commit latency covers every decided wave.
+        waves = {entry["wave"] for entry in section["waves"]}
+        assert waves >= set(range(1, cell.wave_target + 1))
+        assert all(
+            entry["latency"] is None or entry["latency"] >= 0.0
+            for entry in section["waves"]
+        )
+        # Control-overhead breakdown partitions the correct-process bits.
+        control = section["control_overhead"]
+        assert control, "expected at least one message tag"
+        assert sum(tag["bits"] for tag in control.values()) == (
+            result["metrics"]["correct_bits"]
+        )
+        fractions = sum(tag["bits_fraction"] for tag in control.values())
+        assert abs(fractions - 1.0) < 1e-9
+        # The registry snapshot carries the delay/commit-latency histograms.
+        histograms = section["registry"]["histograms"]
+        assert "net.delay" in histograms and "node.commit_latency" in histograms
 
     def test_profiled_run_reports_hotspots_and_tags(self):
         cell = smoke_cells()[0]

@@ -86,10 +86,22 @@ class TestDet002WallClock:
         )
         assert codes(check(source)) == ["DET002"]
 
-    @pytest.mark.parametrize("package", ["dag", "core", "broadcast", "baselines"])
+    @pytest.mark.parametrize(
+        "package", ["dag", "core", "broadcast", "baselines", "obs"]
+    )
     def test_applies_across_simulated_time_packages(self, package):
         source = "import time\n\ndef f():\n    return time.time()\n"
         assert codes(check(source, module=f"repro.{package}.fixture")) == ["DET002"]
+
+    def test_obs_package_in_scope(self):
+        # Events are stamped with sim time so traces stay bit-reproducible;
+        # a wall-clock read inside the observability layer must be flagged.
+        source = (
+            "import time\n\n"
+            "def stamp(event):\n"
+            "    return time.perf_counter()\n"
+        )
+        assert codes(check(source, module="repro.obs.fixture")) == ["DET002"]
 
     def test_perf_package_out_of_scope(self):
         # perf/ measures real wall-clock on purpose; the rule must not fire.
