@@ -5,7 +5,9 @@ Commands:
 * ``run`` — simulate a DAG-Rider deployment and print a run report;
 * ``render`` — simulate briefly and print a process's local DAG;
 * ``baseline`` — run one of the baseline SMRs for comparison;
-* ``tcp`` — boot a real-socket localhost cluster.
+* ``tcp`` — boot a real-socket localhost cluster;
+* ``tcp-node`` — boot ONE node from a peer table (the multi-host unit,
+  driven across hosts by ``scripts/fabric.py``).
 
 Examples::
 
@@ -13,6 +15,7 @@ Examples::
     python -m repro render --n 4 --rounds 8
     python -m repro baseline --protocol dumbo --slots 8
     python -m repro tcp --n 4 --blocks 20
+    python -m repro tcp-node --peers peers.json --pid 2 --trace host2.jsonl
 """
 
 from __future__ import annotations
@@ -121,6 +124,17 @@ def cmd_tcp(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tcp_node(args: argparse.Namespace) -> int:
+    from repro.runtime.runner import run_node
+
+    return run_node(
+        args.peers,
+        args.pid,
+        trace_path=args.trace,
+        run_seconds=args.run_seconds,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DAG-Rider reproduction CLI"
@@ -158,6 +172,22 @@ def build_parser() -> argparse.ArgumentParser:
     tcp.add_argument("--blocks", type=int, default=15)
     tcp.add_argument("--timeout", type=float, default=60.0)
     tcp.set_defaults(fn=cmd_tcp)
+
+    node = sub.add_parser(
+        "tcp-node", help="boot one node from a peer table (multi-host runner)"
+    )
+    node.add_argument("--peers", required=True, help="peer table (.json or .toml)")
+    node.add_argument("--pid", type=int, required=True, help="this node's pid")
+    node.add_argument(
+        "--trace", help="write this host's repro.obs.trace v1 JSONL here on stop"
+    )
+    node.add_argument(
+        "--run-seconds",
+        type=float,
+        default=300.0,
+        help="safety deadline: exit (code 2) if no control stop arrives",
+    )
+    node.set_defaults(fn=cmd_tcp_node)
     return parser
 
 

@@ -35,3 +35,13 @@ class SecretSharingError(ReproError):
 
 class WireFormatError(ReproError):
     """A message failed to encode or decode on the simulated wire."""
+
+
+class ConsistencyError(ReproError):
+    """Cross-node delivery logs violated BAB total order.
+
+    Raised by the runtime's prefix-consistency checks when two processes'
+    ``a_deliver`` logs disagree at some position — including the case where
+    both delivered the same ``(round, source)`` slot but *different* block
+    contents, which a slot-only comparison cannot see.
+    """

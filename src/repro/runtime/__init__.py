@@ -18,25 +18,62 @@ the protocol logic depends on the simulator.
 * :mod:`repro.runtime.chaos` — seeded, deterministic fault injection
   (drops, duplicates, delays, severed connections, dial failures) for
   robustness tests and examples.
-* :mod:`repro.runtime.cluster` — helpers to boot an n-node cluster on
-  localhost ports inside one asyncio loop and await delivery predicates.
+* :mod:`repro.runtime.peers` — declarative peer tables (JSON/TOML):
+  pid -> host:port plus the SystemConfig/LinkConfig/coin knobs one file
+  needs to describe a whole deployment.
+* :mod:`repro.runtime.runner` — :class:`NodeRunner` boots ONE node from a
+  peer table (the ``python -m repro tcp-node`` unit) with a small control
+  socket for readiness probes, state aggregation, and shutdown.
+* :mod:`repro.runtime.cluster` — :class:`LocalCluster` composes n runners
+  inside one asyncio loop (tests, examples) over the same boot/teardown
+  path; ``scripts/fabric.py`` / :mod:`repro.runtime.fabric` drive n
+  runner *processes* instead.
+* :mod:`repro.runtime.consistency` — the digest-based prefix-consistency
+  check both deployment shapes run over delivery logs.
 
 See ``docs/runtime.md`` for the full design.
 """
 
 from repro.runtime.chaos import ChaosConfig, ChaosTransport, FrameFate
 from repro.runtime.cluster import LocalCluster
+from repro.runtime.consistency import (
+    check_prefix_consistency,
+    digest_log,
+    entry_digest,
+)
+from repro.runtime.peers import (
+    PeerEntry,
+    PeerTable,
+    PeerTableError,
+    allocate_port_block,
+    load_peer_table,
+    make_peer_table,
+    parse_peer_table,
+)
 from repro.runtime.reliable import LinkConfig, LinkStats, ReliableLink
+from repro.runtime.runner import ControlServer, NodeRunner
 from repro.runtime.transport import AsyncScheduler, TcpNetwork
 
 __all__ = [
     "AsyncScheduler",
     "ChaosConfig",
     "ChaosTransport",
+    "ControlServer",
     "FrameFate",
     "LinkConfig",
     "LinkStats",
     "LocalCluster",
+    "NodeRunner",
+    "PeerEntry",
+    "PeerTable",
+    "PeerTableError",
     "ReliableLink",
     "TcpNetwork",
+    "allocate_port_block",
+    "check_prefix_consistency",
+    "digest_log",
+    "entry_digest",
+    "load_peer_table",
+    "make_peer_table",
+    "parse_peer_table",
 ]

@@ -1,4 +1,12 @@
-"""Boot an n-node DAG-Rider cluster over localhost TCP."""
+"""Boot an n-node DAG-Rider cluster over localhost TCP.
+
+Since the multi-host runner landed, this is a thin composition: the
+cluster builds one :class:`repro.runtime.peers.PeerTable` and boots one
+:class:`repro.runtime.runner.NodeRunner` per pid inside the current
+asyncio loop — exactly the stack ``python -m repro tcp-node`` boots in a
+process of its own, so in-loop tests and real multi-process deployments
+share their boot/teardown code.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +19,9 @@ from repro.common.config import SystemConfig
 from repro.core.node import DagRiderNode
 from repro.crypto.dealer import CoinDealer
 from repro.obs.context import Observability
+from repro.runtime.consistency import check_prefix_consistency, digest_log
+from repro.runtime.peers import PeerTable, make_peer_table
+from repro.runtime.runner import NodeRunner
 from repro.runtime.transport import LinkConfig, TcpNetwork
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -28,8 +39,11 @@ class LocalCluster:
         ), timeout=30.0))
 
     Pass ``chaos`` (a :class:`repro.runtime.chaos.ChaosTransport`) to inject
-    seeded faults on every link, and ``link_config`` to tune the reliable
-    links' backoff/heartbeat/degradation knobs.
+    seeded faults on every link, ``link_config`` to tune the reliable
+    links' backoff/heartbeat/degradation knobs, and ``peers`` (pid ->
+    ``(host, port)``) to place nodes on explicit addresses instead of the
+    contiguous ``base_port + pid`` block — tests use freshly allocated
+    free ports this way so parallel runs cannot collide.
     """
 
     def __init__(
@@ -41,50 +55,56 @@ class LocalCluster:
         link_config: LinkConfig | None = None,
         chaos: "ChaosTransport | None" = None,
         observability: Observability | None = None,
+        peers: dict[int, tuple[str, int]] | None = None,
         **node_kwargs,
     ):
         self.config = config
-        self.peers = {
-            pid: (host, base_port + pid) for pid in config.processes
-        }
+        self.peers = (
+            dict(peers)
+            if peers is not None
+            else {pid: (host, base_port + pid) for pid in config.processes}
+        )
+        self.table: PeerTable = make_peer_table(
+            self.peers,
+            config,
+            coin_mode=coin_mode,
+            link=link_config,
+        )
         self._coin_mode = coin_mode
-        self._link_config = link_config
         self._chaos = chaos
         self.observability = observability
         if chaos is not None and observability is not None:
             chaos.obs = observability
         self._node_kwargs = node_kwargs
         self._stopped = False
-        self.networks: list[TcpNetwork] = []
-        self.nodes: list[DagRiderNode] = []
+        self.runners: list[NodeRunner] = []
+
+    @property
+    def networks(self) -> list[TcpNetwork]:
+        return [r.network for r in self.runners if r.network is not None]
+
+    @property
+    def nodes(self) -> list[DagRiderNode]:
+        return [r.node for r in self.runners if r.node is not None]
 
     async def start(self) -> None:
         """Bind sockets and start every node's protocol."""
-        dealer = None
-        if self._coin_mode != "ideal":
-            dealer = CoinDealer(self.config.seed, self.config.n, self.config.small_quorum)
+        # One shared dealer object across the in-loop runners; a process
+        # runner derives an identical one from the table's dealer_seed.
+        dealer: CoinDealer | None = self.table.make_dealer()
         for pid in self.config.processes:
-            network = TcpNetwork(
-                self.config,
+            runner = NodeRunner(
+                self.table,
                 pid,
-                self.peers,
-                link_config=self._link_config,
+                observability=self.observability,
                 chaos=self._chaos,
-                obs=self.observability,
+                dealer=dealer,
+                node_kwargs=self._node_kwargs,
             )
-            await network.start()
-            self.networks.append(network)
-            self.nodes.append(
-                DagRiderNode(
-                    pid,
-                    network,
-                    coin_mode=self._coin_mode,
-                    dealer=dealer,
-                    **self._node_kwargs,
-                )
-            )
-        for node in self.nodes:
-            node.start()
+            await runner.boot()
+            self.runners.append(runner)
+        for runner in self.runners:
+            runner.launch()
 
     async def stop(self) -> None:
         """Close every socket and background task; safe to call repeatedly."""
@@ -93,16 +113,16 @@ class LocalCluster:
         self._stopped = True
         # Quiesce every node's outbound links before closing any server, so
         # survivors don't spend teardown reconnecting to half-closed peers.
-        for network in self.networks:
-            await network.close_links()
-        for network in self.networks:
-            await network.close()
+        for runner in self.runners:
+            await runner.close_links()
+        for runner in self.runners:
+            await runner.close()
 
     async def run_until(
         self, predicate: Callable[[], bool], timeout: float = 60.0, poll: float = 0.05
     ) -> bool:
         """Start (if needed), poll ``predicate``, stop; True if it held."""
-        if not self.nodes:
+        if not self.runners:
             await self.start()
         deadline = asyncio.get_running_loop().time() + timeout
         try:
@@ -133,12 +153,17 @@ class LocalCluster:
         report["degraded_peers"] = sorted(degraded)
         return report
 
-    def check_total_order(self) -> None:
-        """Prefix-consistency across all nodes' delivery logs."""
-        logs = [
-            [(e.round, e.source) for e in node.ordered] for node in self.nodes
-        ]
-        for i, log_a in enumerate(logs):
-            for log_b in logs[i + 1 :]:
-                shorter = min(len(log_a), len(log_b))
-                assert log_a[:shorter] == log_b[:shorter], "logs diverged"
+    def check_total_order(self) -> int:
+        """Prefix-consistency across all nodes' delivery logs.
+
+        Compares full entry digests (slot *and* block bytes), so two
+        different blocks in the same ``(round, source)`` slot fail the
+        check; raises :class:`repro.common.errors.ConsistencyError` on the
+        first divergence (a real exception — ``python -O`` cannot strip
+        it the way it strips a bare ``assert``). Returns the agreed
+        prefix length. The fabric driver runs the same check across host
+        boundaries on digests fetched over each node's control socket.
+        """
+        return check_prefix_consistency(
+            {f"node {node.pid}": digest_log(node.ordered) for node in self.nodes}
+        )

@@ -1,0 +1,425 @@
+"""Fabric driver: boot, probe, and verify an n-host cluster of runners.
+
+``scripts/fabric.py`` (a thin wrapper over :func:`main`) drives one
+``python -m repro tcp-node`` process per pid from a single peer table:
+
+1. **Plan** — map pids onto the ``--hosts`` list (cycled), allocate free
+   data + control ports for local hosts, and write ``peers.json`` to the
+   output directory. An existing table can be supplied with ``--peers``.
+2. **Spawn** — start one runner OS process per pid (local hosts only;
+   for remote hosts, start ``python -m repro tcp-node --peers table.json
+   --pid K`` on each host yourself and rerun the driver with
+   ``--no-spawn`` to attach).
+3. **Probe** — poll every node's control socket until it answers ``ping``
+   (readiness = data socket bound, protocol launched).
+4. **Wait** — poll ``status`` until every node decided ``--waves`` waves
+   (and ordered ``--blocks`` entries), within ``--timeout``.
+5. **Verify** — fetch position-wise entry digests over the control
+   sockets and run the same digest-based prefix-consistency check
+   :class:`repro.runtime.cluster.LocalCluster` uses in-loop; aggregate
+   ``link_report`` counters across hosts.
+6. **Collect** — fetch each host's ``repro.obs.trace`` v1 JSONL, merge
+   them (events interleaved on their per-host clocks) into
+   ``merged.trace.jsonl``, write per-node ``status.json``, and optionally
+   ``--diff`` host traces.
+
+Exit codes: 0 success, 1 total-order violation, 2 boot/target timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.common.errors import ConsistencyError
+from repro.obs.analyze import diff_traces
+from repro.obs.export import Trace, dumps_trace, loads_trace
+from repro.runtime.consistency import check_prefix_consistency
+from repro.runtime.peers import (
+    PeerTable,
+    allocate_port_block,
+    load_peer_table,
+    make_peer_table,
+)
+
+#: Host spellings treated as "this machine" (spawnable by the driver).
+LOCAL_HOSTS = {"localhost", "127.0.0.1", "::1"}
+
+
+def is_local(host: str) -> bool:
+    return host in LOCAL_HOSTS
+
+
+def plan_table(
+    hosts: Sequence[str],
+    n: int,
+    seed: int,
+    coin_mode: str,
+) -> PeerTable:
+    """Build a peer table mapping pids across ``hosts`` (cycled).
+
+    Local hosts get freshly allocated free ports; every pid gets a
+    control port so the driver can probe it.
+    """
+    from repro.common.config import SystemConfig
+
+    assignment = {pid: hosts[pid % len(hosts)] for pid in range(n)}
+    addresses: dict[int, tuple[str, int]] = {}
+    control_ports: dict[int, int] = {}
+    local_pids = [pid for pid, host in assignment.items() if is_local(host)]
+    ports = allocate_port_block(2 * len(local_pids))
+    for index, pid in enumerate(local_pids):
+        addresses[pid] = ("127.0.0.1", ports[2 * index])
+        control_ports[pid] = ports[2 * index + 1]
+    base = 9100  # remote hosts: deterministic well-known ports per pid
+    for pid, host in assignment.items():
+        if pid in addresses:
+            continue
+        addresses[pid] = (host, base + pid)
+        control_ports[pid] = base + n + pid
+    return make_peer_table(
+        addresses,
+        SystemConfig(n=n, seed=seed),
+        coin_mode=coin_mode,
+        control_ports=control_ports,
+    )
+
+
+# ------------------------------------------------------------- control I/O
+
+
+def control_call(
+    address: tuple[str, int], request: dict, timeout: float = 10.0
+) -> dict:
+    """One request/response round-trip on a node's control socket."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall((json.dumps(request) + "\n").encode())
+        with sock.makefile("r", encoding="utf-8") as stream:
+            line = stream.readline()
+    if not line:
+        raise ConnectionError(f"empty control response from {address}")
+    response = json.loads(line)
+    if not isinstance(response, dict):
+        raise ConnectionError(f"malformed control response from {address}")
+    return response
+
+
+def wait_ready(table: PeerTable, deadline: float, poll: float = 0.1) -> bool:
+    """Poll every control socket until all answer ``ping`` (or deadline)."""
+    pending = {entry.pid for entry in table.peers}
+    while pending and time.monotonic() < deadline:
+        for pid in sorted(pending):
+            try:
+                response = control_call(
+                    table.entry(pid).control_address, {"cmd": "ping"}, timeout=2.0
+                )
+            except (OSError, ValueError):
+                continue
+            if response.get("ok") and response.get("ready"):
+                pending.discard(pid)
+        if pending:
+            time.sleep(poll)
+    return not pending
+
+
+def wait_target(
+    table: PeerTable,
+    waves: int,
+    blocks: int,
+    deadline: float,
+    poll: float = 0.2,
+) -> bool:
+    """Poll ``status`` until every node hit the wave/block targets."""
+    while time.monotonic() < deadline:
+        statuses = []
+        try:
+            for entry in table.peers:
+                statuses.append(
+                    control_call(entry.control_address, {"cmd": "status"}, timeout=2.0)
+                )
+        except (OSError, ValueError):
+            time.sleep(poll)
+            continue
+        if all(
+            s.get("decided_wave", -1) >= waves and s.get("ordered", 0) >= blocks
+            for s in statuses
+        ):
+            return True
+        time.sleep(poll)
+    return False
+
+
+def stop_all(table: PeerTable) -> None:
+    for entry in table.peers:
+        try:
+            control_call(entry.control_address, {"cmd": "stop"}, timeout=2.0)
+        except (OSError, ValueError):
+            pass
+
+
+# ----------------------------------------------------------------- spawning
+
+
+def spawn_runners(
+    table: PeerTable,
+    peers_path: Path,
+    out_dir: Path,
+    run_seconds: float,
+) -> list[subprocess.Popen]:
+    """One ``python -m repro tcp-node`` OS process per pid, logs captured."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    processes = []
+    for entry in table.peers:
+        log_path = out_dir / f"node-{entry.pid}.log"
+        with open(log_path, "w", encoding="utf-8") as log:
+            processes.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "tcp-node",
+                        "--peers",
+                        str(peers_path),
+                        "--pid",
+                        str(entry.pid),
+                        "--trace",
+                        str(out_dir / f"node-{entry.pid}.trace.jsonl"),
+                        "--run-seconds",
+                        str(run_seconds),
+                    ],
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                    env=env,
+                )
+            )
+    return processes
+
+
+def reap(processes: list[subprocess.Popen], timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    for process in processes:
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+# ------------------------------------------------------------------ merging
+
+
+def merge_traces(traces: Sequence[Trace]) -> str:
+    """Merge per-host traces into one JSONL document.
+
+    Events interleave by their per-host monotonic clocks (each host's
+    transport scheduler starts at its own epoch — ordering across hosts
+    is approximate, within a host it is exact). Per-host link counters
+    are summed into the metrics footer.
+    """
+    events = sorted(
+        (event for trace in traces for event in trace.events),
+        key=lambda event: (event.time, event.pid),
+    )
+    totals: Counter = Counter()
+    for trace in traces:
+        links = (trace.metrics or {}).get("links", {})
+        if isinstance(links, dict):
+            for key, value in links.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    totals[key] += value
+    meta = {
+        "merged_hosts": len(traces),
+        "pids": sorted(
+            int(str(trace.meta.get("pid", -1))) for trace in traces
+        ),
+    }
+    return dumps_trace(events, meta=meta, metrics={"links": dict(totals)})
+
+
+# --------------------------------------------------------------------- main
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fabric",
+        description="Drive an n-host DAG-Rider cluster from one peer table.",
+    )
+    parser.add_argument(
+        "--hosts",
+        default="localhost",
+        help="comma-separated host list, cycled across pids (default: localhost)",
+    )
+    parser.add_argument("--n", type=int, default=4, help="number of nodes")
+    parser.add_argument("--seed", type=int, default=0, help="run seed")
+    parser.add_argument(
+        "--coin", default="ideal", choices=["ideal", "threshold", "piggyback"]
+    )
+    parser.add_argument(
+        "--waves", type=int, default=3, help="waves every node must commit"
+    )
+    parser.add_argument(
+        "--blocks", type=int, default=1, help="entries every node must order"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, help="overall deadline (seconds)"
+    )
+    parser.add_argument(
+        "--out-dir",
+        default="fabric-out",
+        help="directory for peers.json, per-host logs/traces, merged trace",
+    )
+    parser.add_argument(
+        "--peers", help="use this existing peer table instead of planning one"
+    )
+    parser.add_argument(
+        "--no-spawn",
+        action="store_true",
+        help="attach to already-running runners (remote hosts) instead of spawning",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="diff each host's trace against host 0's (informational)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    hosts = [host.strip() for host in args.hosts.split(",") if host.strip()]
+    if not hosts:
+        print("fabric: empty --hosts list", file=sys.stderr)
+        return 2
+    if args.peers:
+        table = load_peer_table(args.peers)
+        peers_path = Path(args.peers)
+    else:
+        table = plan_table(hosts, args.n, args.seed, args.coin)
+        peers_path = out_dir / "peers.json"
+        peers_path.write_text(table.dumps(), encoding="utf-8")
+        print(f"fabric: wrote peer table for n={table.n} to {peers_path}")
+
+    remote = [entry for entry in table.peers if not is_local(entry.host)]
+    if remote and not args.no_spawn:
+        pids = [entry.pid for entry in remote]
+        print(
+            f"fabric: pids {pids} live on remote hosts; start "
+            f"`python -m repro tcp-node --peers {peers_path} --pid K` on "
+            "each host, then rerun with --no-spawn to attach",
+            file=sys.stderr,
+        )
+        return 2
+
+    processes: list[subprocess.Popen] = []
+    if not args.no_spawn:
+        processes = spawn_runners(
+            table, peers_path, out_dir, run_seconds=args.timeout + 30.0
+        )
+        print(f"fabric: spawned {len(processes)} runner processes")
+
+    deadline = time.monotonic() + args.timeout
+    try:
+        if not wait_ready(table, deadline):
+            print("fabric: nodes failed to become ready in time", file=sys.stderr)
+            return 2
+        print(f"fabric: all {table.n} nodes ready")
+        if not wait_target(table, args.waves, args.blocks, deadline):
+            print(
+                f"fabric: target (waves>={args.waves}, blocks>={args.blocks}) "
+                "not reached in time",
+                file=sys.stderr,
+            )
+            return 2
+
+        # Aggregate state over the control sockets while nodes are live.
+        logs: dict[str, list[str]] = {}
+        statuses: dict[int, dict] = {}
+        link_totals: Counter = Counter()
+        trace_texts: dict[int, str] = {}
+        for entry in table.peers:
+            address = entry.control_address
+            statuses[entry.pid] = control_call(address, {"cmd": "status"})
+            logs[f"{entry.host}:{entry.pid}"] = control_call(
+                address, {"cmd": "log"}
+            )["digests"]
+            report = control_call(address, {"cmd": "link_report"})["report"]
+            for key, value in report.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    link_totals[key] += value
+            trace_texts[entry.pid] = control_call(
+                address, {"cmd": "trace"}, timeout=30.0
+            )["trace"]
+    finally:
+        stop_all(table)
+        if processes:
+            reap(processes)
+
+    status_path = out_dir / "status.json"
+    status_path.write_text(
+        json.dumps({str(pid): status for pid, status in sorted(statuses.items())},
+                   indent=2),
+        encoding="utf-8",
+    )
+    for pid, status in sorted(statuses.items()):
+        print(
+            f"  node {pid}: ordered {status['ordered']:>3} entries, "
+            f"decided wave {status['decided_wave']}, "
+            f"round {status['current_round']}"
+        )
+    print(
+        "fabric: links: "
+        f"{link_totals.get('frames_sent', 0)} frames, "
+        f"{link_totals.get('reconnects', 0)} reconnects, "
+        f"{link_totals.get('redeliveries', 0)} redeliveries"
+    )
+
+    try:
+        prefix = check_prefix_consistency(logs)
+    except ConsistencyError as error:
+        print(f"fabric: TOTAL ORDER VIOLATION: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"fabric: digest-based total order OK across {table.n} nodes "
+        f"(agreed prefix: {prefix} entries)"
+    )
+
+    traces = {pid: loads_trace(text) for pid, text in trace_texts.items()}
+    merged_path = out_dir / "merged.trace.jsonl"
+    merged_path.write_text(merge_traces(list(traces.values())), encoding="utf-8")
+    total_events = sum(len(trace.events) for trace in traces.values())
+    print(f"fabric: merged {total_events} events into {merged_path}")
+
+    if args.diff and traces:
+        base_pid = min(traces)
+        for pid in sorted(traces):
+            if pid == base_pid:
+                continue
+            diff = diff_traces(
+                traces[base_pid].events, traces[pid].events, time_tolerance=1e9
+            )
+            changed = ", ".join(sorted(diff.kind_deltas)) or "none"
+            print(f"fabric: diff host {base_pid} vs {pid}: kind deltas: {changed}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

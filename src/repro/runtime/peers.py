@@ -1,0 +1,358 @@
+"""Declarative peer tables: one file describes a whole deployment.
+
+A peer table is the unit of configuration for the multi-host runner: every
+host gets the same file, and ``python -m repro tcp-node --peers table.json
+--pid K`` boots exactly one node from it. The table folds together
+
+* the :class:`repro.common.config.SystemConfig` knobs (``n``, ``seed``,
+  ``wave_length``, ``genesis_size``, ``byzantine``);
+* the coin setup (``coin_mode`` plus the dealer's key-material seed — the
+  trusted-dealer analogue of distributing threshold keys at setup);
+* the :class:`repro.runtime.reliable.LinkConfig` knobs under ``"link"``;
+* one ``{host, port, control_port}`` entry per pid under ``"peers"``.
+
+JSON is the native format; ``.toml`` files load through :mod:`tomllib`
+(stdlib). Schema (JSON spelling)::
+
+    {
+      "n": 4, "seed": 1, "coin_mode": "threshold", "dealer_seed": 99,
+      "link": {"initial_backoff": 0.02},
+      "peers": {
+        "0": {"host": "10.0.0.1", "port": 9001, "control_port": 9101},
+        "1": {"host": "10.0.0.2", "port": 9001, "control_port": 9101},
+        ...
+      }
+    }
+
+Every parse failure raises :class:`PeerTableError` naming the offending
+field, so a typo in a deployment file fails the boot loudly rather than
+hanging a cluster half-dialed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import asdict, dataclass, fields
+from typing import Mapping
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.core.node import COIN_MODES
+from repro.crypto.dealer import CoinDealer
+from repro.runtime.reliable import LinkConfig
+
+
+class PeerTableError(ConfigurationError):
+    """A peer table that does not follow the schema above."""
+
+
+_TABLE_KEYS = {
+    "n", "seed", "coin_mode", "dealer_seed", "wave_length",
+    "genesis_size", "byzantine", "link", "peers",
+}
+_PEER_KEYS = {"host", "port", "control_port"}
+_LINK_KEYS = {f.name for f in fields(LinkConfig)}
+
+
+@dataclass(frozen=True)
+class PeerEntry:
+    """One node's addresses: the data port peers dial, the control port
+    the fabric driver probes (``None`` for in-loop clusters)."""
+
+    pid: int
+    host: str
+    port: int
+    control_port: int | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def control_address(self) -> tuple[str, int]:
+        if self.control_port is None:
+            raise PeerTableError(f"peer {self.pid} has no control_port")
+        return (self.host, self.control_port)
+
+
+@dataclass(frozen=True)
+class PeerTable:
+    """Parsed, validated deployment description."""
+
+    n: int
+    seed: int
+    peers: tuple[PeerEntry, ...]  # sorted by pid, one entry per pid
+    coin_mode: str = "ideal"
+    dealer_seed: int | None = None
+    wave_length: int | None = None
+    genesis_size: int | None = None
+    byzantine: frozenset[int] = frozenset()
+    link: LinkConfig = LinkConfig()
+
+    def system_config(self) -> SystemConfig:
+        kwargs: dict[str, object] = {}
+        if self.wave_length is not None:
+            kwargs["wave_length"] = self.wave_length
+        if self.genesis_size is not None:
+            kwargs["genesis_size"] = self.genesis_size
+        return SystemConfig(
+            n=self.n, seed=self.seed, byzantine=self.byzantine, **kwargs
+        )
+
+    def entry(self, pid: int) -> PeerEntry:
+        if not 0 <= pid < self.n:
+            raise PeerTableError(f"pid {pid} outside [0, {self.n})")
+        return self.peers[pid]
+
+    def addresses(self) -> dict[int, tuple[str, int]]:
+        """The pid -> (host, port) map the transport dials."""
+        return {entry.pid: entry.address for entry in self.peers}
+
+    def make_dealer(self) -> CoinDealer | None:
+        """The threshold-coin dealer every node derives identically.
+
+        The dealer seed is the table's key material: two runners on two
+        hosts construct byte-identical key shares from it, standing in for
+        a real setup ceremony distributing threshold keys.
+        """
+        if self.coin_mode == "ideal":
+            return None
+        assert self.dealer_seed is not None  # enforced at parse time
+        config = self.system_config()
+        return CoinDealer(self.dealer_seed, config.n, config.small_quorum)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict that :func:`parse_peer_table` round-trips."""
+        data: dict[str, object] = {
+            "n": self.n,
+            "seed": self.seed,
+            "coin_mode": self.coin_mode,
+            "peers": {
+                str(entry.pid): {
+                    key: value
+                    for key, value in asdict(entry).items()
+                    if key != "pid" and value is not None
+                }
+                for entry in self.peers
+            },
+        }
+        if self.dealer_seed is not None:
+            data["dealer_seed"] = self.dealer_seed
+        if self.wave_length is not None:
+            data["wave_length"] = self.wave_length
+        if self.genesis_size is not None:
+            data["genesis_size"] = self.genesis_size
+        if self.byzantine:
+            data["byzantine"] = sorted(self.byzantine)
+        if self.link != LinkConfig():
+            defaults = LinkConfig()
+            data["link"] = {
+                f.name: getattr(self.link, f.name)
+                for f in fields(LinkConfig)
+                if getattr(self.link, f.name) != getattr(defaults, f.name)
+            }
+        return data
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def _require_int(data: Mapping[str, object], key: str, source: str) -> int:
+    value = data.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise PeerTableError(f"{source}: {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def _parse_peer(pid_key: object, raw: object, n: int, source: str) -> PeerEntry:
+    try:
+        pid = int(str(pid_key))
+    except ValueError:
+        raise PeerTableError(f"{source}: peer key {pid_key!r} is not a pid") from None
+    if not 0 <= pid < n:
+        raise PeerTableError(f"{source}: peer pid {pid} outside [0, {n})")
+    if not isinstance(raw, Mapping):
+        raise PeerTableError(f"{source}: peer {pid} entry must be an object")
+    unknown = set(raw) - _PEER_KEYS
+    if unknown:
+        raise PeerTableError(
+            f"{source}: peer {pid} has unknown keys {sorted(unknown)}"
+        )
+    host = raw.get("host")
+    if not isinstance(host, str) or not host:
+        raise PeerTableError(f"{source}: peer {pid} needs a non-empty host")
+    port = _require_int(raw, "port", f"{source}: peer {pid}")
+    control_port: int | None = None
+    if "control_port" in raw:
+        control_port = _require_int(raw, "control_port", f"{source}: peer {pid}")
+    for name, value in (("port", port), ("control_port", control_port)):
+        if value is not None and not 1 <= value <= 65535:
+            raise PeerTableError(
+                f"{source}: peer {pid} {name} {value} outside [1, 65535]"
+            )
+    return PeerEntry(pid, host, port, control_port)
+
+
+def parse_peer_table(data: object, source: str = "peer table") -> PeerTable:
+    """Validate a decoded JSON/TOML document into a :class:`PeerTable`."""
+    if not isinstance(data, Mapping):
+        raise PeerTableError(f"{source}: top level must be an object")
+    unknown = set(data) - _TABLE_KEYS
+    if unknown:
+        raise PeerTableError(f"{source}: unknown keys {sorted(unknown)}")
+    if "peers" not in data or not isinstance(data["peers"], Mapping):
+        raise PeerTableError(f"{source}: missing 'peers' object")
+    n = _require_int(data, "n", source)
+    seed = _require_int(data, "seed", source) if "seed" in data else 0
+
+    coin_mode = data.get("coin_mode", "ideal")
+    if coin_mode not in COIN_MODES:
+        raise PeerTableError(
+            f"{source}: unknown coin_mode {coin_mode!r} (one of {COIN_MODES})"
+        )
+    dealer_seed = None
+    if "dealer_seed" in data:
+        dealer_seed = _require_int(data, "dealer_seed", source)
+    if coin_mode != "ideal" and dealer_seed is None:
+        raise PeerTableError(
+            f"{source}: coin_mode {coin_mode!r} needs key material — "
+            "set 'dealer_seed' so every host derives the same coin keys"
+        )
+
+    raw_peers = data["peers"]
+    if len(raw_peers) != n:
+        raise PeerTableError(
+            f"{source}: expected {n} peers, got {len(raw_peers)}"
+        )
+    entries: dict[int, PeerEntry] = {}
+    for pid_key, raw in raw_peers.items():
+        entry = _parse_peer(pid_key, raw, n, source)
+        if entry.pid in entries:
+            raise PeerTableError(f"{source}: duplicate peer pid {entry.pid}")
+        entries[entry.pid] = entry
+    missing = [pid for pid in range(n) if pid not in entries]
+    if missing:
+        raise PeerTableError(f"{source}: missing peers {missing}")
+
+    seen: dict[tuple[str, int], str] = {}
+    for entry in entries.values():
+        owned = [(entry.address, f"peer {entry.pid} port")]
+        if entry.control_port is not None:
+            owned.append((entry.control_address, f"peer {entry.pid} control_port"))
+        for address, owner in owned:
+            if address in seen:
+                raise PeerTableError(
+                    f"{source}: {owner} reuses {address[0]}:{address[1]} "
+                    f"already taken by {seen[address]}"
+                )
+            seen[address] = owner
+
+    link = LinkConfig()
+    if "link" in data:
+        raw_link = data["link"]
+        if not isinstance(raw_link, Mapping):
+            raise PeerTableError(f"{source}: 'link' must be an object")
+        unknown = set(raw_link) - _LINK_KEYS
+        if unknown:
+            raise PeerTableError(f"{source}: unknown link keys {sorted(unknown)}")
+        link = LinkConfig(**raw_link)  # LinkConfig validates value ranges
+
+    byzantine = frozenset()
+    if "byzantine" in data:
+        raw_byz = data["byzantine"]
+        if not isinstance(raw_byz, (list, tuple)):
+            raise PeerTableError(f"{source}: 'byzantine' must be a list of pids")
+        byzantine = frozenset(int(b) for b in raw_byz)
+
+    table = PeerTable(
+        n=n,
+        seed=seed,
+        peers=tuple(entries[pid] for pid in range(n)),
+        coin_mode=str(coin_mode),
+        dealer_seed=dealer_seed,
+        wave_length=(
+            _require_int(data, "wave_length", source)
+            if "wave_length" in data
+            else None
+        ),
+        genesis_size=(
+            _require_int(data, "genesis_size", source)
+            if "genesis_size" in data
+            else None
+        ),
+        byzantine=byzantine,
+        link=link,
+    )
+    table.system_config()  # surface SystemConfig validation errors at parse
+    return table
+
+
+def load_peer_table(path: str) -> PeerTable:
+    """Read a peer table from a ``.json`` or ``.toml`` file."""
+    if path.endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - py < 3.11 only
+            raise PeerTableError("TOML peer tables need Python >= 3.11") from exc
+        with open(path, "rb") as handle:
+            data: object = tomllib.load(handle)
+    else:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    return parse_peer_table(data, source=path)
+
+
+def make_peer_table(
+    addresses: Mapping[int, tuple[str, int]],
+    config: SystemConfig,
+    coin_mode: str = "ideal",
+    link: LinkConfig | None = None,
+    control_ports: Mapping[int, int] | None = None,
+    dealer_seed: int | None = None,
+) -> PeerTable:
+    """Build a table programmatically (clusters, fabric, tests)."""
+    if coin_mode != "ideal" and dealer_seed is None:
+        dealer_seed = config.seed
+    peers = tuple(
+        PeerEntry(
+            pid,
+            addresses[pid][0],
+            addresses[pid][1],
+            control_ports.get(pid) if control_ports else None,
+        )
+        for pid in sorted(addresses)
+    )
+    return PeerTable(
+        n=config.n,
+        seed=config.seed,
+        peers=peers,
+        coin_mode=coin_mode,
+        dealer_seed=dealer_seed,
+        wave_length=config.wave_length,
+        genesis_size=config.genesis_size,
+        byzantine=config.byzantine,
+        link=link if link is not None else LinkConfig(),
+    )
+
+
+def allocate_port_block(count: int, host: str = "127.0.0.1") -> list[int]:
+    """Reserve ``count`` distinct free TCP ports on ``host``.
+
+    All sockets are held open while allocating so the kernel cannot hand
+    the same ephemeral port out twice, then released together. A tiny race
+    remains between release and the caller's bind — unavoidable without
+    fd passing, and still far safer on busy CI runners than hardcoded
+    port bases.
+    """
+    sockets: list[socket.socket] = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()

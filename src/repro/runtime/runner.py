@@ -1,0 +1,310 @@
+"""Boot **one** DAG-Rider node from a peer table — the multi-host unit.
+
+:class:`NodeRunner` is the single shared boot/teardown path for both
+deployment shapes:
+
+* ``python -m repro tcp-node --peers table.json --pid K`` runs one runner
+  per OS process (one per host in a real deployment), plus a
+  :class:`ControlServer` on the pid's ``control_port`` so the fabric
+  driver (``scripts/fabric.py``) can probe readiness, aggregate state,
+  and stop the node;
+* :class:`repro.runtime.cluster.LocalCluster` composes ``n`` runners
+  inside one asyncio loop for tests and examples.
+
+Every runner carries an :class:`repro.obs.context.Observability` bundle:
+process runners always create their own (per-host trace, the clock bound
+to this node's transport scheduler) and export a ``repro.obs.trace`` v1
+JSONL on shutdown; in-loop clusters may share one bundle across runners.
+
+The control protocol is deliberately tiny: newline-delimited JSON request/
+response pairs over TCP (``{"cmd": "status"}`` -> one JSON line). Commands:
+``ping``, ``status``, ``log`` (position-wise entry digests for the
+cross-host prefix-consistency check), ``link_report``, ``trace`` (the
+JSONL text so a driver needs no shared filesystem), and ``stop``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigurationError
+from repro.core.node import DagRiderNode
+from repro.crypto.dealer import CoinDealer
+from repro.obs.context import Observability
+from repro.obs.export import dump_trace, dumps_trace
+from repro.runtime.consistency import digest_log
+from repro.runtime.peers import PeerTable
+from repro.runtime.transport import TcpNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.chaos import ChaosTransport
+
+
+class NodeRunner:
+    """One DAG-Rider node booted from a declarative peer table."""
+
+    def __init__(
+        self,
+        table: PeerTable,
+        pid: int,
+        observability: Observability | None = None,
+        chaos: "ChaosTransport | None" = None,
+        dealer: CoinDealer | None = None,
+        node_kwargs: dict | None = None,
+    ):
+        self.table = table
+        self.pid = pid
+        self.entry = table.entry(pid)
+        self.config = table.system_config()
+        self.observability = observability
+        self._chaos = chaos
+        self._dealer = dealer
+        self._node_kwargs = dict(node_kwargs or {})
+        self._stop = asyncio.Event()
+        self._closed = False
+        self.network: TcpNetwork | None = None
+        self.node: DagRiderNode | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def boot(self) -> None:
+        """Bind this node's data socket and assemble the protocol stack."""
+        if self.network is not None:
+            raise RuntimeError(f"runner {self.pid} already booted")
+        self.network = TcpNetwork(
+            self.config,
+            self.pid,
+            self.table.addresses(),
+            link_config=self.table.link,
+            chaos=self._chaos,
+            obs=self.observability,
+        )
+        await self.network.start()
+        dealer = self._dealer
+        if dealer is None:
+            dealer = self.table.make_dealer()
+        self.node = DagRiderNode(
+            self.pid,
+            self.network,
+            coin_mode=self.table.coin_mode,
+            dealer=dealer,
+            **self._node_kwargs,
+        )
+
+    def launch(self) -> None:
+        """Start the protocol (first broadcast); requires :meth:`boot`."""
+        if self.node is None:
+            raise RuntimeError(f"runner {self.pid} not booted")
+        self.node.start()
+
+    async def close_links(self) -> None:
+        """Quiesce outbound links only (first phase of cluster teardown)."""
+        if self.network is not None:
+            await self.network.close_links()
+
+    async def close(self) -> None:
+        """Tear the transport down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.network is not None:
+            await self.network.close()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`wait_stopped` to return (control ``stop``, signals)."""
+        self._stop.set()
+
+    async def wait_stopped(self, timeout: float | None = None) -> bool:
+        """Block until a stop is requested; False when ``timeout`` hit first."""
+        if timeout is None:
+            await self._stop.wait()
+            return True
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(self._stop.wait(), timeout)
+        return self._stop.is_set()
+
+    # ----------------------------------------------------------- inspection
+
+    def status(self) -> dict[str, object]:
+        """Liveness snapshot the fabric driver polls."""
+        node = self.node
+        return {
+            "ok": True,
+            "pid": self.pid,
+            "ready": node is not None,
+            "ordered": len(node.ordered) if node is not None else 0,
+            "decided_wave": node.decided_wave if node is not None else -1,
+            "current_round": node.current_round if node is not None else -1,
+        }
+
+    def ordered_digests(self) -> list[str]:
+        """This node's delivery log as entry digests (hex)."""
+        if self.node is None:
+            return []
+        return digest_log(self.node.ordered)
+
+    def link_report(self) -> dict[str, object]:
+        if self.network is None:
+            return {}
+        return self.network.link_report()
+
+    # -------------------------------------------------------------- tracing
+
+    def trace_meta(self) -> dict[str, object]:
+        """Deterministic identification for this host's trace header."""
+        return {
+            "pid": self.pid,
+            "n": self.config.n,
+            "seed": self.config.seed,
+            "coin_mode": self.table.coin_mode,
+            "host": self.entry.host,
+            "port": self.entry.port,
+        }
+
+    def trace_metrics(self) -> dict[str, object]:
+        metrics: dict[str, object] = {"links": self.link_report()}
+        if self.observability is not None:
+            metrics["registry"] = self.observability.snapshot()
+        return metrics
+
+    def trace_text(self) -> str:
+        """This host's ``repro.obs.trace`` v1 JSONL as a string."""
+        events = (
+            self.observability.bus.events if self.observability is not None else []
+        )
+        return dumps_trace(
+            events, meta=self.trace_meta(), metrics=self.trace_metrics()
+        )
+
+    def dump_trace(self, path: str) -> int:
+        """Write this host's trace file; returns the event count."""
+        events = (
+            self.observability.bus.events if self.observability is not None else []
+        )
+        dump_trace(
+            path, events, meta=self.trace_meta(), metrics=self.trace_metrics()
+        )
+        return len(events)
+
+
+class ControlServer:
+    """Newline-JSON control endpoint for one :class:`NodeRunner`."""
+
+    def __init__(self, runner: NodeRunner, host: str, port: int):
+        self.runner = runner
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _dispatch(self, request: dict) -> dict[str, object]:
+        command = request.get("cmd")
+        runner = self.runner
+        if command == "ping":
+            return {"ok": True, "pid": runner.pid, "ready": runner.node is not None}
+        if command == "status":
+            return runner.status()
+        if command == "log":
+            return {"ok": True, "pid": runner.pid, "digests": runner.ordered_digests()}
+        if command == "link_report":
+            return {"ok": True, "pid": runner.pid, "report": runner.link_report()}
+        if command == "trace":
+            return {"ok": True, "pid": runner.pid, "trace": runner.trace_text()}
+        if command == "stop":
+            runner.request_stop()
+            return {"ok": True, "pid": runner.pid, "stopping": True}
+        return {"ok": False, "error": f"unknown command {command!r}"}
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be an object")
+                except ValueError as exc:
+                    response: dict[str, object] = {"ok": False, "error": str(exc)}
+                else:
+                    response = self._dispatch(request)
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+
+async def serve_node(
+    table: PeerTable,
+    pid: int,
+    trace_path: str | None = None,
+    run_seconds: float | None = None,
+    announce: bool = True,
+) -> int:
+    """Run one node process until stopped over control (or the deadline).
+
+    The ``python -m repro tcp-node`` body. Returns the process exit code:
+    0 after a clean control-socket stop, 2 when ``run_seconds`` expired
+    first (so orphaned runners are visible to whatever launched them).
+    """
+    entry = table.entry(pid)
+    if entry.control_port is None:
+        raise ConfigurationError(
+            f"peer {pid} has no control_port; tcp-node needs one to be driven"
+        )
+    observability = Observability()
+    runner = NodeRunner(table, pid, observability=observability)
+    await runner.boot()
+    runner.launch()
+    control = ControlServer(runner, entry.host, entry.control_port)
+    await control.start()
+    if announce:
+        print(
+            f"node {pid}/{table.n} up: data {entry.host}:{entry.port} "
+            f"control {entry.host}:{entry.control_port}",
+            flush=True,
+        )
+    stopped_clean = await runner.wait_stopped(timeout=run_seconds)
+    if trace_path is not None:
+        count = runner.dump_trace(trace_path)
+        if announce:
+            print(f"node {pid}: wrote {count} events to {trace_path}", flush=True)
+    await control.close()
+    await runner.close_links()
+    await runner.close()
+    return 0 if stopped_clean else 2
+
+
+def run_node(
+    peers_path: str,
+    pid: int,
+    trace_path: str | None = None,
+    run_seconds: float | None = 300.0,
+) -> int:
+    """Synchronous entry point used by the CLI."""
+    from repro.runtime.peers import load_peer_table
+
+    table = load_peer_table(peers_path)
+    return asyncio.run(
+        serve_node(table, pid, trace_path=trace_path, run_seconds=run_seconds)
+    )

@@ -129,7 +129,12 @@ class Scheduler:
         """Run events until the queue drains or a bound is hit.
 
         Args:
-            until: Stop before executing any event later than this time.
+            until: Stop before executing any event later than this time;
+                the clock always lands exactly on ``until`` — also when
+                the queue drains (or holds only cancelled entries) before
+                reaching it, so ``run(until=T); run(until=2*T)`` paces a
+                quiet simulation correctly instead of leaving ``now``
+                stuck at the last executed event.
             max_events: Stop after executing this many further events.
             stop_when: Checked after every event; True stops the run.
         """
@@ -158,3 +163,5 @@ class Scheduler:
             entry[2](*entry[3])
             if stop_when is not None and stop_when():
                 return
+        if until is not None and until > self._now:
+            self._now = until

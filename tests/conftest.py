@@ -2,10 +2,36 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 import pytest
 
 from repro.common.config import SystemConfig
 from repro.core.harness import DagRiderDeployment
+from repro.runtime.peers import allocate_port_block
+
+
+@pytest.fixture
+def free_port() -> Callable[[], int]:
+    """Allocator of single free TCP ports (replaces hardcoded port bases,
+    which collide when several CI runs share a machine)."""
+
+    def _alloc() -> int:
+        return allocate_port_block(1)[0]
+
+    return _alloc
+
+
+@pytest.fixture
+def free_peers() -> Callable[..., dict[int, tuple[str, int]]]:
+    """Allocator of ``pid -> (host, port)`` maps on freshly free ports,
+    for ``LocalCluster(..., peers=free_peers(n))``."""
+
+    def _alloc(n: int, host: str = "127.0.0.1") -> dict[int, tuple[str, int]]:
+        ports = allocate_port_block(n, host)
+        return {pid: (host, ports[pid]) for pid in range(n)}
+
+    return _alloc
 
 
 @pytest.fixture

@@ -7,19 +7,15 @@ from repro.runtime.chaos import ChaosConfig, ChaosTransport
 from repro.runtime.cluster import LocalCluster
 from repro.runtime.reliable import LinkConfig
 
-#: Distinct port bases so parallel test runs cannot collide (the runtime
-#: tests use 19_000-20_000; the reliable-link unit tests 20_000-21_000).
-PORTS = iter(range(21_000, 22_000, 16))
-
 #: Aggressive backoff so reconnect storms resolve quickly in tests.
 FAST_LINKS = LinkConfig(initial_backoff=0.02, max_backoff=0.3)
 
 
-def chaos_cluster(seed, chaos_config, n=4, link_config=FAST_LINKS):
+def chaos_cluster(peers, seed, chaos_config, n=4, link_config=FAST_LINKS):
     chaos = ChaosTransport(seed, chaos_config)
     cluster = LocalCluster(
         SystemConfig(n=n, seed=seed),
-        base_port=next(PORTS),
+        peers=peers,
         link_config=link_config,
         chaos=chaos,
     )
@@ -33,11 +29,12 @@ def ordered_at_least(cluster, target):
 
 
 class TestChaosAcceptance:
-    def test_orders_despite_drops_severs_and_dial_failures(self):
+    def test_orders_despite_drops_severs_and_dial_failures(self, free_peers):
         """The ISSUE acceptance scenario: >=20% first-attempt drops, every
         link severed at least once, and a 4-node cluster still orders >=20
         blocks on every node with prefix-consistent logs."""
         cluster, chaos = chaos_cluster(
+            free_peers(4),
             seed=42,
             chaos_config=ChaosConfig(
                 drop_rate=0.3,
@@ -65,11 +62,11 @@ class TestChaosAcceptance:
         assert report["redeliveries"] > 0
         assert report["retries"] > 0
 
-    def test_mid_run_connection_kill_redelivers(self):
+    def test_mid_run_connection_kill_redelivers(self, free_peers):
         """Kill every live TCP connection mid-run (on top of a light seeded
         chaos schedule); redelivery must restore prefix-consistent logs."""
         cluster, _chaos = chaos_cluster(
-            seed=7, chaos_config=ChaosConfig(drop_rate=0.1)
+            free_peers(4), seed=7, chaos_config=ChaosConfig(drop_rate=0.1)
         )
 
         async def main():
@@ -95,9 +92,11 @@ class TestChaosAcceptance:
         assert report["reconnects"] > 0
         assert report["redeliveries"] > 0
 
-    def test_duplicate_heavy_schedule_preserves_integrity(self):
+    def test_duplicate_heavy_schedule_preserves_integrity(self, free_peers):
         cluster, chaos = chaos_cluster(
-            seed=3, chaos_config=ChaosConfig(duplicate_rate=0.5, delay_rate=0.3)
+            free_peers(4),
+            seed=3,
+            chaos_config=ChaosConfig(duplicate_rate=0.5, delay_rate=0.3),
         )
         reached = asyncio.run(
             cluster.run_until(ordered_at_least(cluster, 15), timeout=60.0)
@@ -115,13 +114,11 @@ class TestChaosAcceptance:
 
 
 class TestChaosOffParity:
-    def test_protocol_accounting_excludes_link_overhead(self):
+    def test_protocol_accounting_excludes_link_overhead(self, free_peers):
         """With chaos disabled the MetricsCollector sees exactly the
         protocol's sends (the paper's §3 accounting, as in the seed); all
         reliability traffic lands in the separate link_stats."""
-        cluster = LocalCluster(
-            SystemConfig(n=4, seed=5), base_port=next(PORTS)
-        )
+        cluster = LocalCluster(SystemConfig(n=4, seed=5), peers=free_peers(4))
         reached = asyncio.run(
             cluster.run_until(ordered_at_least(cluster, 10), timeout=45.0)
         )
@@ -136,10 +133,8 @@ class TestChaosOffParity:
         assert report["gaps"] == 0
         assert report["dropped_degraded"] == 0
 
-    def test_stop_is_idempotent(self):
-        cluster = LocalCluster(
-            SystemConfig(n=4, seed=6), base_port=next(PORTS)
-        )
+    def test_stop_is_idempotent(self, free_peers):
+        cluster = LocalCluster(SystemConfig(n=4, seed=6), peers=free_peers(4))
 
         async def main():
             reached = await cluster.run_until(

@@ -1,0 +1,112 @@
+"""Multi-process cluster smoke: ``scripts/fabric.py`` end to end.
+
+Unlike the in-loop ``LocalCluster`` tests, every node here is a separate OS
+process booted from the same on-disk peer table — the deployment shape the
+multi-host runner targets. The fabric driver allocates ports, spawns the
+runners, polls their control sockets, runs the digest-based total-order
+check across process boundaries, and merges the per-host traces.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import loads_trace
+from repro.runtime.peers import load_peer_table
+
+REPO = Path(__file__).resolve().parents[2]
+FABRIC = REPO / "scripts" / "fabric.py"
+
+
+@pytest.fixture(scope="module")
+def fabric_run(tmp_path_factory):
+    """One 4-node fabric run shared by the assertions below (spawning four
+    OS processes per test would dominate suite runtime)."""
+    out_dir = tmp_path_factory.mktemp("fabric")
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(FABRIC),
+            "--hosts",
+            "localhost",
+            "--n",
+            "4",
+            "--waves",
+            "3",
+            "--timeout",
+            "90",
+            "--out-dir",
+            str(out_dir),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=150,
+        cwd=str(REPO),
+    )
+    return out_dir, result
+
+
+class TestFabricSmoke:
+    def test_four_processes_reach_total_order(self, fabric_run):
+        out_dir, result = fabric_run
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "digest-based total order OK across 4 nodes" in result.stdout
+        # Four separate runner processes each logged their own boot line.
+        logs = sorted(out_dir.glob("node-*.log"))
+        assert len(logs) == 4
+        for pid, log in enumerate(logs):
+            assert f"node {pid}/4 up" in log.read_text(encoding="utf-8")
+
+    def test_every_node_committed_three_waves(self, fabric_run):
+        out_dir, result = fabric_run
+        assert result.returncode == 0, result.stdout + result.stderr
+        status = json.loads((out_dir / "status.json").read_text(encoding="utf-8"))
+        assert len(status) == 4
+        for node in status.values():
+            assert node["decided_wave"] >= 3
+            assert node["ordered"] > 0
+
+    def test_peer_table_on_disk_parses(self, fabric_run):
+        out_dir, _result = fabric_run
+        table = load_peer_table(str(out_dir / "peers.json"))
+        assert table.n == 4
+        assert len(table.addresses()) == 4
+        assert all(entry.control_port for entry in table.peers)
+
+    def test_per_host_traces_are_valid_v1_jsonl(self, fabric_run):
+        out_dir, _result = fabric_run
+        traces = sorted(out_dir.glob("node-*.trace.jsonl"))
+        assert len(traces) == 4
+        for path in traces:
+            trace = loads_trace(path.read_text(encoding="utf-8"))
+            kinds = {event.kind for event in trace.events}
+            assert {"commit", "a_deliver"} <= kinds
+
+    def test_merged_trace_spans_all_pids(self, fabric_run):
+        out_dir, _result = fabric_run
+        merged = loads_trace(
+            (out_dir / "merged.trace.jsonl").read_text(encoding="utf-8")
+        )
+        assert merged.meta.get("pids") == [0, 1, 2, 3]
+        assert {event.pid for event in merged.events} == {0, 1, 2, 3}
+        # Merge is globally time-sorted.
+        times = [event.time for event in merged.events]
+        assert times == sorted(times)
+
+    def test_summarize_accepts_the_traces(self, fabric_run):
+        out_dir, _result = fabric_run
+        for name in ("node-0.trace.jsonl", "merged.trace.jsonl"):
+            result = subprocess.run(
+                [sys.executable, "-m", "repro.obs", "summarize", str(out_dir / name)],
+                capture_output=True,
+                text=True,
+                timeout=60,
+                cwd=str(REPO),
+                env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+            )
+            assert result.returncode == 0, result.stderr
+            assert "a_deliver" in result.stdout

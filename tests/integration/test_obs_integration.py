@@ -21,10 +21,6 @@ from repro.runtime.chaos import ChaosConfig, ChaosTransport
 from repro.runtime.cluster import LocalCluster
 from repro.runtime.reliable import LinkConfig
 
-#: Distinct port bases so parallel test runs cannot collide (chaos tests
-#: use 21_000-22_000).
-PORTS = iter(range(22_000, 23_000, 16))
-
 FAST_LINKS = LinkConfig(initial_backoff=0.02, max_backoff=0.3)
 
 
@@ -72,14 +68,14 @@ class TestCleanVsPerturbedDiff:
 
 
 class TestRuntimeTraces:
-    def _run_cluster(self, seed, chaos_config=None, target=8):
+    def _run_cluster(self, peers, seed, chaos_config=None, target=8):
         observability = Observability()
         chaos = None
         if chaos_config is not None:
             chaos = ChaosTransport(seed, chaos_config)
         cluster = LocalCluster(
             SystemConfig(n=4, seed=seed),
-            base_port=next(PORTS),
+            peers=peers,
             link_config=FAST_LINKS,
             chaos=chaos,
             observability=observability,
@@ -95,9 +91,10 @@ class TestRuntimeTraces:
         cluster.check_total_order()
         return observability
 
-    def test_chaos_trace_reports_fault_kinds_clean_trace_lacks(self):
-        clean = self._run_cluster(seed=11)
+    def test_chaos_trace_reports_fault_kinds_clean_trace_lacks(self, free_peers):
+        clean = self._run_cluster(free_peers(4), seed=11)
         chaotic = self._run_cluster(
+            free_peers(4),
             seed=11,
             chaos_config=ChaosConfig(
                 drop_rate=0.3, duplicate_rate=0.05, sever_every=20
@@ -118,8 +115,8 @@ class TestRuntimeTraces:
         assert "chaos_drop" in diff.kind_deltas
         assert diff.kind_deltas["chaos_drop"][0] == 0  # only in B
 
-    def test_clean_cluster_records_protocol_metrics(self):
-        observability = self._run_cluster(seed=12)
+    def test_clean_cluster_records_protocol_metrics(self, free_peers):
+        observability = self._run_cluster(free_peers(4), seed=12)
         snapshot = observability.snapshot()
         assert snapshot["counters"].get("link.redeliveries", 0) == 0
         assert "node.commit_latency" in snapshot["histograms"]

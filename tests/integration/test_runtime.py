@@ -6,13 +6,10 @@ import asyncio
 from repro.common.config import SystemConfig
 from repro.runtime.cluster import LocalCluster
 
-#: Distinct port bases so parallel test runs cannot collide.
-PORTS = iter(range(19_000, 20_000, 16))
 
-
-def run_cluster(coin_mode="ideal", target=10, n=4, seed=5, timeout=45.0):
+def run_cluster(peers, coin_mode="ideal", target=10, n=4, seed=5, timeout=45.0):
     cluster = LocalCluster(
-        SystemConfig(n=n, seed=seed), base_port=next(PORTS), coin_mode=coin_mode
+        SystemConfig(n=n, seed=seed), peers=peers, coin_mode=coin_mode
     )
 
     async def main():
@@ -27,23 +24,23 @@ def run_cluster(coin_mode="ideal", target=10, n=4, seed=5, timeout=45.0):
 
 
 class TestTcpRuntime:
-    def test_orders_over_real_sockets(self):
-        cluster, reached = run_cluster()
+    def test_orders_over_real_sockets(self, free_peers):
+        cluster, reached = run_cluster(free_peers(4))
         assert reached
         cluster.check_total_order()
 
-    def test_threshold_coin_over_sockets(self):
-        cluster, reached = run_cluster(coin_mode="threshold")
+    def test_threshold_coin_over_sockets(self, free_peers):
+        cluster, reached = run_cluster(free_peers(4), coin_mode="threshold")
         assert reached
         cluster.check_total_order()
 
-    def test_logs_carry_all_sources(self):
-        cluster, reached = run_cluster(target=20)
+    def test_logs_carry_all_sources(self, free_peers):
+        cluster, reached = run_cluster(free_peers(4), target=20)
         assert reached
         sources = {e.source for e in cluster.nodes[0].ordered}
         assert sources == {0, 1, 2, 3}
 
-    def test_metrics_account_bits(self):
-        cluster, reached = run_cluster()
+    def test_metrics_account_bits(self, free_peers):
+        cluster, reached = run_cluster(free_peers(4))
         assert reached
         assert all(net.metrics.correct_bits_total > 0 for net in cluster.networks)

@@ -5,11 +5,10 @@ import asyncio
 from repro.broadcast.gossip import GossipSubscribe
 from repro.codec import encode_message
 from repro.common.config import SystemConfig
+from repro.runtime.peers import allocate_port_block
 from repro.runtime.reliable import LinkConfig, frame_bytes
 from repro.runtime.transport import TcpNetwork
 
-#: Distinct port range from test_reliable so parallel runs cannot collide.
-PORTS = iter(range(21_000, 22_000, 8))
 
 FRAMES = 60
 
@@ -39,8 +38,8 @@ async def busy_link_control_bits(link_config: LinkConfig) -> tuple[int, int]:
     the frames arrive in (at most a few) bursts, which is exactly the busy
     link scenario the batching optimization targets.
     """
-    base = next(PORTS)
-    peers = {pid: ("127.0.0.1", base + pid) for pid in range(2)}
+    ports = allocate_port_block(2)
+    peers = {pid: ("127.0.0.1", ports[pid]) for pid in range(2)}
     net = TcpNetwork(SystemConfig(n=2, seed=3), 0, peers, link_config=link_config)
     sink = Sink(0)
     net.register(sink)
@@ -83,8 +82,8 @@ def test_burst_coalescing_halves_control_bits():
 
 def test_batched_ack_is_cumulative():
     async def main():
-        base = next(PORTS)
-        peers = {pid: ("127.0.0.1", base + pid) for pid in range(2)}
+        ports = allocate_port_block(2)
+        peers = {pid: ("127.0.0.1", ports[pid]) for pid in range(2)}
         net = TcpNetwork(SystemConfig(n=2, seed=3), 0, peers)
         net.register(Sink(0))
         await net.start()
@@ -125,8 +124,8 @@ def test_broadcast_encodes_once(monkeypatch):
     async def main():
         import repro.runtime.transport as transport_module
 
-        base = next(PORTS)
-        peers = {pid: ("127.0.0.1", base + pid) for pid in range(4)}
+        ports = allocate_port_block(4)
+        peers = {pid: ("127.0.0.1", ports[pid]) for pid in range(4)}
         net = TcpNetwork(SystemConfig(n=4, seed=3), 0, peers)
         sink = Sink(0)
         net.register(sink)

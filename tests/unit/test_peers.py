@@ -1,0 +1,172 @@
+"""Peer-table parsing: schema validation, round trips, file loading."""
+
+import json
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.runtime.peers import (
+    PeerTableError,
+    allocate_port_block,
+    load_peer_table,
+    make_peer_table,
+    parse_peer_table,
+)
+
+
+def table_dict(n=4, **overrides):
+    data = {
+        "n": n,
+        "seed": 7,
+        "peers": {
+            str(pid): {"host": "127.0.0.1", "port": 9000 + pid, "control_port": 9100 + pid}
+            for pid in range(n)
+        },
+    }
+    data.update(overrides)
+    return data
+
+
+class TestParsing:
+    def test_minimal_table_parses(self):
+        table = parse_peer_table(table_dict())
+        assert table.n == 4
+        assert table.seed == 7
+        assert table.addresses()[2] == ("127.0.0.1", 9002)
+        assert table.entry(2).control_address == ("127.0.0.1", 9102)
+        assert table.coin_mode == "ideal"
+        assert table.make_dealer() is None
+
+    def test_system_config_knobs_fold_in(self):
+        table = parse_peer_table(
+            table_dict(wave_length=5, genesis_size=3, byzantine=[1])
+        )
+        config = table.system_config()
+        assert config.wave_length == 5
+        assert config.genesis_size == 3
+        assert config.byzantine == frozenset({1})
+
+    def test_link_knobs_fold_in(self):
+        table = parse_peer_table(
+            table_dict(link={"initial_backoff": 0.02, "max_backoff": 0.3})
+        )
+        assert table.link.initial_backoff == 0.02
+        assert table.link.max_backoff == 0.3
+
+    def test_round_trip_through_to_dict(self):
+        config = SystemConfig(n=4, seed=3)
+        ports = allocate_port_block(8)
+        table = make_peer_table(
+            {pid: ("127.0.0.1", ports[2 * pid]) for pid in range(4)},
+            config,
+            coin_mode="threshold",
+            control_ports={pid: ports[2 * pid + 1] for pid in range(4)},
+        )
+        assert parse_peer_table(json.loads(table.dumps())) == table
+
+
+class TestRejections:
+    def test_bad_pid_key(self):
+        data = table_dict()
+        data["peers"]["zero"] = data["peers"].pop("0")
+        with pytest.raises(PeerTableError, match="not a pid"):
+            parse_peer_table(data)
+
+    def test_out_of_range_pid(self):
+        data = table_dict()
+        data["peers"]["9"] = data["peers"].pop("0")
+        with pytest.raises(PeerTableError, match="outside"):
+            parse_peer_table(data)
+
+    def test_missing_pid(self):
+        data = table_dict()
+        del data["peers"]["3"]
+        with pytest.raises(PeerTableError, match="expected 4 peers"):
+            parse_peer_table(data)
+
+    def test_duplicate_address(self):
+        data = table_dict()
+        data["peers"]["1"]["port"] = data["peers"]["0"]["port"]
+        with pytest.raises(PeerTableError, match="reuses"):
+            parse_peer_table(data)
+
+    def test_control_port_colliding_with_data_port(self):
+        data = table_dict()
+        data["peers"]["1"]["control_port"] = data["peers"]["0"]["port"]
+        with pytest.raises(PeerTableError, match="reuses"):
+            parse_peer_table(data)
+
+    def test_missing_key_material_for_threshold_coin(self):
+        with pytest.raises(PeerTableError, match="key material"):
+            parse_peer_table(table_dict(coin_mode="threshold"))
+        # With the dealer seed present the same table is fine.
+        table = parse_peer_table(table_dict(coin_mode="threshold", dealer_seed=9))
+        assert table.make_dealer() is not None
+
+    def test_unknown_coin_mode(self):
+        with pytest.raises(PeerTableError, match="coin_mode"):
+            parse_peer_table(table_dict(coin_mode="quantum"))
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(PeerTableError, match="unknown keys"):
+            parse_peer_table(table_dict(extra=1))
+
+    def test_unknown_link_key(self):
+        with pytest.raises(PeerTableError, match="unknown link keys"):
+            parse_peer_table(table_dict(link={"warp_factor": 9}))
+
+    def test_port_out_of_range(self):
+        data = table_dict()
+        data["peers"]["0"]["port"] = 70_000
+        with pytest.raises(PeerTableError, match="outside"):
+            parse_peer_table(data)
+
+    def test_non_integer_n(self):
+        data = table_dict()
+        data["n"] = "four"
+        with pytest.raises(PeerTableError, match="must be an integer"):
+            parse_peer_table(data)
+
+
+class TestFiles:
+    def test_json_file_round_trip(self, tmp_path):
+        path = tmp_path / "peers.json"
+        path.write_text(json.dumps(table_dict()), encoding="utf-8")
+        table = load_peer_table(str(path))
+        assert table.n == 4
+
+    def test_toml_file(self, tmp_path):
+        path = tmp_path / "peers.toml"
+        path.write_text(
+            "\n".join(
+                ["n = 2", "seed = 1"]
+                + [
+                    f'[peers.{pid}]\nhost = "127.0.0.1"\nport = {9000 + pid}'
+                    for pid in range(2)
+                ]
+            ),
+            encoding="utf-8",
+        )
+        table = load_peer_table(str(path))
+        assert table.n == 2
+        assert table.addresses()[1] == ("127.0.0.1", 9001)
+
+    def test_bad_file_names_source(self, tmp_path):
+        data = table_dict()
+        del data["peers"]["3"]
+        path = tmp_path / "peers.json"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(PeerTableError, match="peers.json"):
+            load_peer_table(str(path))
+
+
+class TestPortAllocation:
+    def test_block_is_distinct_and_bindable(self):
+        import socket
+
+        ports = allocate_port_block(8)
+        assert len(set(ports)) == 8
+        for port in ports:
+            with socket.socket() as sock:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                sock.bind(("127.0.0.1", port))

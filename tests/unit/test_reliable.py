@@ -10,6 +10,7 @@ from repro.codec.frames import LinkAck, LinkHeartbeat
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
 from repro.runtime.chaos import ChaosConfig, ChaosTransport
+from repro.runtime.peers import allocate_port_block
 from repro.runtime.reliable import (
     HEADER,
     SEQ,
@@ -19,8 +20,6 @@ from repro.runtime.reliable import (
 )
 from repro.runtime.transport import TcpNetwork
 
-#: Distinct port bases so parallel test runs cannot collide.
-PORTS = iter(range(20_000, 21_000, 8))
 
 
 class Sink:
@@ -35,8 +34,8 @@ class Sink:
 
 
 def make_pair(n=2, seed=7, link_config=None, chaos=None):
-    base = next(PORTS)
-    peers = {pid: ("127.0.0.1", base + pid) for pid in range(n)}
+    ports = allocate_port_block(n)
+    peers = {pid: ("127.0.0.1", ports[pid]) for pid in range(n)}
     config = SystemConfig(n=n, seed=seed)
     nets = [
         TcpNetwork(config, pid, peers, link_config=link_config, chaos=chaos)

@@ -69,6 +69,40 @@ class TestScheduler:
         sched.run()
         assert fired == [1, 10]
 
+    def test_run_until_advances_clock_past_drained_queue(self):
+        # Regression: when the queue drained before `until`, `run` used to
+        # leave `now` at the last event time instead of `until`, so a
+        # subsequent `call_later` was scheduled relative to stale time.
+        sched = Scheduler()
+        sched.call_at(1.0, lambda: None)
+        sched.run(until=5.0)
+        assert sched.now == 5.0
+        seen = []
+        sched.call_later(1.0, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [6.0]
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        sched = Scheduler()
+        sched.run(until=3.0)
+        assert sched.now == 3.0
+
+    def test_run_until_advances_clock_when_all_events_cancelled(self):
+        sched = Scheduler()
+        handle = sched.call_at(1.0, lambda: None)
+        sched.cancel(handle)
+        sched.run(until=4.0)
+        assert sched.now == 4.0
+        assert sched.events_processed == 0
+
+    def test_run_until_does_not_move_clock_backwards(self):
+        sched = Scheduler()
+        sched.call_at(7.0, lambda: None)
+        sched.run()
+        assert sched.now == 7.0
+        sched.run(until=5.0)  # already past; must not rewind
+        assert sched.now == 7.0
+
     def test_max_events(self):
         sched = Scheduler()
         fired = []
