@@ -132,6 +132,7 @@ def cmd_tcp_node(args: argparse.Namespace) -> int:
         args.pid,
         trace_path=args.trace,
         run_seconds=args.run_seconds,
+        state_dir=args.state_dir,
     )
 
 
@@ -186,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=300.0,
         help="safety deadline: exit (code 2) if no control stop arrives",
+    )
+    node.add_argument(
+        "--state-dir",
+        help="durable state directory (WAL + snapshots); enables crash "
+        "recovery — on boot the node replays it and rejoins via catch-up",
     )
     node.set_defaults(fn=cmd_tcp_node)
     return parser

@@ -37,3 +37,42 @@ class LinkHeartbeat(Message):
 
     def wire_size(self, n: int) -> int:
         return BITS_PER_TAG + 64
+
+
+@dataclass(frozen=True)
+class CatchupRequest(Message):
+    """A restarted node asking a peer for its DAG from ``from_round`` up.
+
+    Reliable-link redelivery only covers frames the peer still holds
+    unacked; everything a node missed while dead must be re-fetched
+    explicitly. The responder answers with one or more
+    :class:`CatchupVertices` frames, the last one flagged ``done``.
+    """
+
+    from_round: int
+
+    def wire_size(self, n: int) -> int:
+        return BITS_PER_TAG + 64
+
+
+@dataclass(frozen=True)
+class CatchupVertices(Message):
+    """One chunk of a catch-up response: canonical vertex encodings.
+
+    Vertices arrive in (round, source) order so the requester's buffer can
+    insert each one as soon as its parents land (the normal ``can_add``
+    path also deduplicates anything the requester already has). Responses
+    bypass reliable-broadcast integrity, so requesters only apply them
+    while a catch-up they initiated is in flight.
+    """
+
+    vertices: tuple[bytes, ...]
+    done: bool = False
+
+    def wire_size(self, n: int) -> int:
+        return (
+            BITS_PER_TAG
+            + 32
+            + 8
+            + sum(8 * (4 + len(vertex)) for vertex in self.vertices)
+        )

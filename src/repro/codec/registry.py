@@ -21,7 +21,12 @@ from repro.broadcast.avid import AvidMessage
 from repro.broadcast.base import Payload
 from repro.broadcast.bracha import BrachaMessage
 from repro.broadcast.gossip import GossipMessage, GossipSubscribe
-from repro.codec.frames import LinkAck, LinkHeartbeat
+from repro.codec.frames import (
+    CatchupRequest,
+    CatchupVertices,
+    LinkAck,
+    LinkHeartbeat,
+)
 from repro.codec.primitives import (
     Reader,
     encode_bool,
@@ -241,6 +246,28 @@ def _dec_slot(reader: Reader) -> SlotMessage:
     return SlotMessage(slot, inner)
 
 
+def _enc_catchup_request(msg: CatchupRequest) -> bytes:
+    return encode_uint(msg.from_round, 8)
+
+
+def _dec_catchup_request(reader: Reader) -> CatchupRequest:
+    return CatchupRequest(reader.uint(8))
+
+
+def _enc_catchup_vertices(msg: CatchupVertices) -> bytes:
+    return (
+        encode_uint(len(msg.vertices), 4)
+        + b"".join(encode_bytes(vertex) for vertex in msg.vertices)
+        + encode_bool(msg.done)
+    )
+
+
+def _dec_catchup_vertices(reader: Reader) -> CatchupVertices:
+    count = reader.uint(4)
+    vertices = tuple(reader.bytes_() for _ in range(count))
+    return CatchupVertices(vertices, reader.bool_())
+
+
 # --------------------------------------------------------------- registry
 
 # Encoders are stored behind their concrete message type, so the common
@@ -260,6 +287,8 @@ _REGISTRY: dict[type[Message], tuple[int, Callable[[Any], bytes]]] = {
     SlotMessage: (10, _enc_slot),
     LinkAck: (11, _enc_link_ack),
     LinkHeartbeat: (12, _enc_link_heartbeat),
+    CatchupRequest: (13, _enc_catchup_request),
+    CatchupVertices: (14, _enc_catchup_vertices),
 }
 
 _DECODERS: dict[int, Callable[[Reader], Message]] = {
@@ -275,6 +304,8 @@ _DECODERS: dict[int, Callable[[Reader], Message]] = {
     10: _dec_slot,
     11: _dec_link_ack,
     12: _dec_link_heartbeat,
+    13: _dec_catchup_request,
+    14: _dec_catchup_vertices,
 }
 
 

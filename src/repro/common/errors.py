@@ -37,6 +37,17 @@ class WireFormatError(ReproError):
     """A message failed to encode or decode on the simulated wire."""
 
 
+class StorageError(ReproError):
+    """Durable-state failure: unreadable snapshot, unreplayable WAL record.
+
+    Tail corruption of a write-ahead log is *not* an error (a crash mid-
+    append is the expected case and recovery truncates it); this is raised
+    only for damage recovery cannot safely interpret, e.g. a snapshot that
+    fails its integrity check or a journaled commit referencing a vertex
+    the replayed store does not contain.
+    """
+
+
 class ConsistencyError(ReproError):
     """Cross-node delivery logs violated BAB total order.
 

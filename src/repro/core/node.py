@@ -16,7 +16,7 @@ Public BAB surface:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.broadcast.avid import AvidBroadcast
 from repro.broadcast.base import ReliableBroadcast
@@ -25,7 +25,7 @@ from repro.broadcast.gossip import GossipBroadcast
 from repro.coin.base import CoinProtocol
 from repro.coin.ideal import IdealCoin
 from repro.coin.threshold import CoinShareMessage, ThresholdCoin
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, WireFormatError
 from repro.crypto.dealer import CoinDealer
 from repro.dag.builder import DagBuilder
 from repro.dag.vertex import Vertex
@@ -33,6 +33,17 @@ from repro.mempool.blocks import Block, BlockSource, TransactionGenerator
 from repro.sim.network import Network
 from repro.sim.process import Process
 from repro.sim.wire import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.codec.frames import CatchupRequest, CatchupVertices
+    from repro.storage.journal import NodeJournal
+
+#: Vertices per :class:`CatchupVertices` chunk when serving a catch-up.
+CATCHUP_CHUNK = 64
+
+#: Catch-up request retry schedule: attempts and spacing (seconds).
+CATCHUP_ATTEMPTS = 3
+CATCHUP_RETRY_DELAY = 3.0
 
 #: Reliable-broadcast instantiations by name (the Table 1 rows).
 BROADCASTS: dict[str, type[ReliableBroadcast]] = {
@@ -76,6 +87,7 @@ class DagRiderNode(Process):
         commit_quorum: int | None = None,
         gc_depth: int | None = None,
         tracer=None,
+        journal: "NodeJournal | None" = None,
     ):
         super().__init__(pid, network)
         config = self.config
@@ -95,6 +107,13 @@ class DagRiderNode(Process):
         self._gc_depth = gc_depth
         self._tracer = tracer  # optional repro.sim.trace.Tracer
         self._wave_ready_time: dict[int, float] = {}
+        # Durable state: the WAL/snapshot sidecar (None → memory-only node).
+        self._journal = journal
+        #: Entry digests delivered before the last recovery — the restored
+        #: prefix of the total-order log for the cross-host prefix check.
+        self.recovered_digest_prefix: list[str] = []
+        self._catchup_pending: set[int] = set()
+        self._catchup_attempts = 0
 
         if block_source is None:
             block_source = BlockSource(
@@ -108,8 +127,10 @@ class DagRiderNode(Process):
         self._coin_mode = coin_mode
         if self.obs is not None:
             self._commit_latency = self.obs.registry.histogram("node.commit_latency")
+            self._catchup_vertices = self.obs.registry.histogram("catchup.vertices")
         else:
             self._commit_latency = None
+            self._catchup_vertices = None
 
         share_provider = None
         if coin_mode == "piggyback":
@@ -187,6 +208,16 @@ class DagRiderNode(Process):
             if isinstance(self.coin, ThresholdCoin):
                 self.coin.on_message(src, message)
             return
+        # Imported here, not at module top: repro.codec's registry pulls in
+        # the baselines package, which imports this module (import cycle).
+        from repro.codec.frames import CatchupRequest, CatchupVertices
+
+        if isinstance(message, CatchupRequest):
+            self._serve_catchup(src, message)
+            return
+        if isinstance(message, CatchupVertices):
+            self._apply_catchup(src, message)
+            return
         self.rbc.handle(src, message)
 
     def _emit(self, kind: str, **fields) -> None:
@@ -208,6 +239,10 @@ class DagRiderNode(Process):
         commits_before = len(self.ordering.commits)
         self.ordering.wave_ready(wave)
         for record in self.ordering.commits[commits_before:]:
+            if self._journal is not None:
+                self._journal.record_commit(
+                    record.wave, [v.ref for v in record.leader_chain]
+                )
             self._emit(
                 "commit",
                 wave=record.wave,
@@ -247,8 +282,17 @@ class DagRiderNode(Process):
         )
         if horizon > self.store.collected_floor:
             self.ordering.compact_store(horizon)
+            if self._journal is not None:
+                # Snapshots piggyback on compaction: the snapshot captures
+                # the shrunken DAG and lets the WAL be truncated.
+                self._journal.write_snapshot(self)
 
     def _on_vertex_created(self, vertex: Vertex) -> None:
+        # Durable *before* the broadcast below (record_created fsyncs): a
+        # restarted node must never broadcast different bytes for a round
+        # it already used — the crash-equivocation hazard.
+        if self._journal is not None:
+            self._journal.record_created(vertex)
         self._emit(
             "vertex_created",
             round=vertex.round,
@@ -256,27 +300,156 @@ class DagRiderNode(Process):
         )
 
     def _on_vertex_added(self, vertex: Vertex) -> None:
+        if self._journal is not None:
+            self._journal.record_vertex(vertex)
         self._emit(
             "vertex_added",
             round=vertex.round,
             source=vertex.source,
             weak=len(vertex.weak_parents),
         )
+        self._extract_share(vertex)
+        # Late vertices may complete a wave's commit support only at the
+        # *next* wave evaluation per the paper; nothing to do here.
+
+    def _extract_share(self, vertex: Vertex) -> None:
+        """Feed a piggybacked coin share (paper footnote 1) to the coin."""
         if self._coin_mode == "piggyback" and vertex.coin_share is not None:
             wave_length = self.config.wave_length
             if vertex.round % wave_length == 1 and vertex.round > wave_length:
                 instance = (vertex.round - 1) // wave_length
                 assert isinstance(self.coin, ThresholdCoin)
                 self.coin.deliver_share(vertex.source, instance, vertex.coin_share)
-        # Late vertices may complete a wave's commit support only at the
-        # *next* wave evaluation per the paper; nothing to do here.
 
     def _record_delivery(self, block: Block, round_: int, source: int) -> None:
-        entry = OrderedEntry(len(self.ordered), block, round_, source, self.now)
+        position = len(self.recovered_digest_prefix) + len(self.ordered)
+        entry = OrderedEntry(position, block, round_, source, self.now)
         self.ordered.append(entry)
         self._emit("a_deliver", round=round_, source=source)
         if self._on_deliver is not None:
             self._on_deliver(entry)
+
+    # -------------------------------------------------- recovery + catch-up
+
+    def absorb_replayed_vertex(self, vertex: Vertex) -> None:
+        """Side effects of a WAL-replayed vertex insertion.
+
+        Replay adds vertices to the store directly (no builder, no
+        journal re-append); only the per-vertex protocol side effects —
+        currently the piggybacked coin shares — must still run.
+        """
+        self._extract_share(vertex)
+
+    def finish_recovery(self) -> int:
+        """Final recovery step; returns how many vertices were re-broadcast.
+
+        Re-signals every wave boundary the pre-crash builder had reached
+        above the decided wave: commits that happened in the crash window
+        between delivery and the WAL append are re-derived from the
+        restored DAG (support over a wave's last round only grows, so
+        re-evaluating the commit rule is safe — see
+        :meth:`repro.core.ordering.DagRiderOrdering.wave_ready`). Then
+        re-broadcasts created-but-undelivered vertices byte-identically;
+        reliable-broadcast deduplication converges at the peers.
+        """
+        top_wave = self.builder.round // self.config.wave_length
+        for wave in range(self.ordering.decided_wave + 1, top_wave + 1):
+            self._on_wave_ready(wave)
+        rebroadcast = 0
+        seen: set = set()
+        for vertex in self.builder.created:
+            if vertex.ref in seen or self.store.contains(vertex.ref):
+                continue
+            seen.add(vertex.ref)
+            self.rbc.r_bcast(vertex, vertex.round)
+            rebroadcast += 1
+        return rebroadcast
+
+    def request_catchup(self) -> None:
+        """Ask every peer for the DAG suffix we may have missed while down.
+
+        Responses are only applied while the peer is in the pending set,
+        and every vertex still re-enters through the builder's validity
+        checks and the store's ``can_add`` — catch-up can only add
+        vertices the normal path would also have accepted.
+        """
+        peers = [p for p in range(self.config.n) if p != self.pid]
+        if not peers:
+            return
+        self._catchup_pending = set(peers)
+        self._catchup_attempts = 0
+        self._send_catchup_requests()
+
+    def _send_catchup_requests(self) -> None:
+        from repro.codec.frames import CatchupRequest  # cycle-free at runtime
+
+        if not self._catchup_pending:
+            return
+        self._catchup_attempts += 1
+        from_round = max(1, self.store.collected_floor)
+        request = CatchupRequest(from_round)
+        for peer in sorted(self._catchup_pending):
+            self.send(peer, request)
+        self._emit(
+            "catchup_request",
+            from_round=from_round,
+            peers=len(self._catchup_pending),
+            attempt=self._catchup_attempts,
+        )
+        if self._catchup_attempts < CATCHUP_ATTEMPTS:
+            self.call_later(CATCHUP_RETRY_DELAY, self._send_catchup_requests)
+
+    def _serve_catchup(self, src: int, message: "CatchupRequest") -> None:
+        """Answer a peer's catch-up with our DAG from its requested round."""
+        from repro.codec.frames import CatchupVertices  # cycle-free at runtime
+
+        from_round = max(1, message.from_round)
+        payloads = [
+            vertex.to_bytes()
+            for vertex in self.store.vertices()
+            if vertex.round >= from_round
+        ]
+        self._emit(
+            "catchup_serve", peer=src, from_round=from_round, vertices=len(payloads)
+        )
+        chunks = [
+            payloads[i : i + CATCHUP_CHUNK]
+            for i in range(0, len(payloads), CATCHUP_CHUNK)
+        ] or [[]]
+        for index, chunk in enumerate(chunks):
+            done = index == len(chunks) - 1
+            self.send(src, CatchupVertices(tuple(chunk), done=done))
+
+    def _apply_catchup(self, src: int, message: "CatchupVertices") -> None:
+        if src not in self._catchup_pending:
+            return  # unsolicited — we never asked this peer (or already done)
+        applied = 0
+        for data in message.vertices:
+            try:
+                vertex = Vertex.from_bytes(data)
+            except WireFormatError:
+                continue  # damaged or hostile payload; the rest may be fine
+            before = self.store.contains(vertex.ref)
+            self.builder.on_r_deliver(vertex, vertex.round, vertex.source)
+            if not before and self.store.contains(vertex.ref):
+                applied += 1
+        if self._catchup_vertices is not None and applied:
+            self._catchup_vertices.record(applied)
+        self._emit(
+            "catchup_apply",
+            peer=src,
+            received=len(message.vertices),
+            applied=applied,
+            done=message.done,
+        )
+        if message.done:
+            self._catchup_pending.discard(src)
+            if not self._catchup_pending:
+                self._emit(
+                    "catchup_done",
+                    round=self.builder.round,
+                    decided_wave=self.ordering.decided_wave,
+                )
 
     # ------------------------------------------------------------ public API
 

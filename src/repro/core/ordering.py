@@ -106,10 +106,71 @@ class DagRiderOrdering:
     def wave_ready(self, wave: int) -> None:
         """Line 34 signal: wave ``wave`` completed in the local DAG."""
         if wave <= self._completed_wave:
+            # Normally a duplicate signal is a no-op, but crash recovery
+            # re-signals waves it cannot prove were evaluated before the
+            # crash. Re-running the commit rule for an uncommitted wave is
+            # safe — support over the wave's last round only grows, so the
+            # quorum-intersection argument behind Lemma 2 still applies —
+            # as long as the wave is above the decided frontier and its
+            # coin already resolved (it was invoked by the first signal).
+            if self.decided_wave < wave <= self._processed_wave:
+                needed = range(self.decided_wave + 1, wave + 1)
+                if all(self.coin.leader_of(w) is not None for w in needed):
+                    self._try_commit(wave)
             return
         self._completed_wave = wave
         self.coin.invoke(wave)
         self._process_pending()
+
+    # ----------------------------------------------------- crash recovery
+
+    def delivered_refs(self) -> list:
+        """Refs of every ``a_deliver``-ed vertex still in the store.
+
+        Bit indices are store-local and change across compactions and
+        restarts; refs are the portable spelling of the delivered set.
+        """
+        return [v.ref for v in self.store.vertices_for_mask(self._delivered_mask)]
+
+    def restore(self, decided_wave: int, delivered_refs: list) -> None:
+        """Adopt a snapshot's position: decided wave + delivered set.
+
+        Refs not in the (already restored) store are skipped — genesis
+        bits in particular self-heal at the next commit, whose delivery
+        loop skips round-0 vertices anyway.
+        """
+        self.decided_wave = decided_wave
+        self._completed_wave = max(self._completed_wave, decided_wave)
+        self._processed_wave = max(self._processed_wave, decided_wave)
+        mask = 0
+        for ref in delivered_refs:
+            if self.store.contains(ref):
+                mask |= 1 << self.store.bit_of(ref)
+        self._delivered_mask = mask
+
+    def replay_commit(self, wave: int, leader_refs: list) -> None:
+        """Re-run one journaled commit (leader chain in delivery order).
+
+        Deterministic replay: the store holds at least the vertices it
+        held at the original commit, the delivered mask evolved through
+        the same earlier commits, and delivery order is the fixed
+        (round, source) sort — so the ``a_deliver`` sequence is
+        byte-identical to the pre-crash run.
+        """
+        stack = []
+        for ref in reversed(leader_refs):
+            vertex = self.store.get(ref)
+            if vertex is None:
+                from repro.common.errors import StorageError
+
+                raise StorageError(
+                    f"commit replay for wave {wave}: leader {ref} not in store"
+                )
+            stack.append(vertex)
+        self.decided_wave = wave
+        self._completed_wave = max(self._completed_wave, wave)
+        self._processed_wave = max(self._processed_wave, wave)
+        self._order_vertices(wave, stack)
 
     # ------------------------------------------------------------ the logic
 

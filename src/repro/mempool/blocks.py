@@ -106,6 +106,17 @@ class BlockSource:
         """True when nothing is queued and no generator can mint."""
         return not self._queue and self.generator is None
 
+    @property
+    def sequence(self) -> int:
+        """Highest block sequence number handed out so far."""
+        return self._sequence
+
+    def restore_sequence(self, sequence: int) -> None:
+        """Fast-forward past sequences used before a crash (never rewinds),
+        so blocks minted after recovery get fresh ``(proposer, sequence)``
+        identities instead of reusing pre-crash ones."""
+        self._sequence = max(self._sequence, sequence)
+
     def dequeue(self) -> Block | None:
         """Pop the next block to propose; None only when :attr:`empty`."""
         if self._queue:

@@ -19,7 +19,7 @@ from repro.common.config import SystemConfig
 from repro.core.node import DagRiderNode
 from repro.crypto.dealer import CoinDealer
 from repro.obs.context import Observability
-from repro.runtime.consistency import check_prefix_consistency, digest_log
+from repro.runtime.consistency import check_prefix_consistency, full_digest_log
 from repro.runtime.peers import PeerTable, make_peer_table
 from repro.runtime.runner import NodeRunner
 from repro.runtime.transport import LinkConfig, TcpNetwork
@@ -56,6 +56,7 @@ class LocalCluster:
         chaos: "ChaosTransport | None" = None,
         observability: Observability | None = None,
         peers: dict[int, tuple[str, int]] | None = None,
+        state_dirs: dict[int, str] | None = None,
         **node_kwargs,
     ):
         self.config = config
@@ -76,6 +77,9 @@ class LocalCluster:
         if chaos is not None and observability is not None:
             chaos.obs = observability
         self._node_kwargs = node_kwargs
+        #: pid -> state directory; listed nodes journal to disk and can be
+        #: restarted from it (see tests/integration/test_crash_recovery.py).
+        self._state_dirs = dict(state_dirs or {})
         self._stopped = False
         self.runners: list[NodeRunner] = []
 
@@ -100,6 +104,7 @@ class LocalCluster:
                 chaos=self._chaos,
                 dealer=dealer,
                 node_kwargs=self._node_kwargs,
+                state_dir=self._state_dirs.get(pid),
             )
             await runner.boot()
             self.runners.append(runner)
@@ -165,5 +170,5 @@ class LocalCluster:
         boundaries on digests fetched over each node's control socket.
         """
         return check_prefix_consistency(
-            {f"node {node.pid}": digest_log(node.ordered) for node in self.nodes}
+            {f"node {node.pid}": full_digest_log(node) for node in self.nodes}
         )

@@ -38,6 +38,19 @@ def digest_log(entries: Iterable["OrderedEntry"]) -> list[str]:
     return [entry_digest(entry) for entry in entries]
 
 
+def full_digest_log(node) -> list[str]:
+    """A node's complete digest log, including deliveries from past lives.
+
+    A restarted node's ``ordered`` list only holds entries delivered since
+    boot; the digests of entries snapshotted away before the crash are
+    carried in ``recovered_digest_prefix``. Entry digests cover
+    ``(round, source, block bytes)`` and none of those depend on the clock,
+    so the concatenation is exactly the log an uninterrupted run produces.
+    """
+    prefix = list(getattr(node, "recovered_digest_prefix", []))
+    return prefix + digest_log(node.ordered)
+
+
 def check_prefix_consistency(
     logs: Mapping[object, Sequence[str]],
 ) -> int:

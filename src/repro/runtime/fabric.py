@@ -23,6 +23,13 @@
    ``merged.trace.jsonl``, write per-node ``status.json``, and optionally
    ``--diff`` host traces.
 
+With ``--scenario file.{json,toml}`` the driver additionally executes a
+declarative chaos scenario (:mod:`repro.runtime.scenario`) between probe
+and wait: killing runner processes with real signals, restarting them from
+their ``--state-dir`` (every scenario run journals durable state), cutting
+partitions and slowing peers over the control sockets — and asserting the
+cross-host digest prefix check passes after every recovery.
+
 Exit codes: 0 success, 1 total-order violation, 2 boot/target timeout.
 """
 
@@ -39,7 +46,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Sequence
 
-from repro.common.errors import ConsistencyError
+from repro.common.errors import ConfigurationError, ConsistencyError
 from repro.obs.analyze import diff_traces
 from repro.obs.export import Trace, dumps_trace, loads_trace
 from repro.runtime.consistency import check_prefix_consistency
@@ -49,6 +56,7 @@ from repro.runtime.peers import (
     load_peer_table,
     make_peer_table,
 )
+from repro.runtime.scenario import Scenario, ScenarioStep, load_scenario
 
 #: Host spellings treated as "this machine" (spawnable by the driver).
 LOCAL_HOSTS = {"localhost", "127.0.0.1", "::1"}
@@ -112,22 +120,57 @@ def control_call(
     return response
 
 
-def wait_ready(table: PeerTable, deadline: float, poll: float = 0.1) -> bool:
-    """Poll every control socket until all answer ``ping`` (or deadline)."""
-    pending = {entry.pid for entry in table.peers}
-    while pending and time.monotonic() < deadline:
-        for pid in sorted(pending):
+#: Boot-probe backoff bounds (seconds): first retry delay and its ceiling.
+PROBE_INITIAL_BACKOFF = 0.05
+PROBE_MAX_BACKOFF = 1.0
+
+
+def wait_ready(
+    table: PeerTable,
+    deadline: float,
+    pids: Sequence[int] | None = None,
+) -> dict[int, float] | None:
+    """Probe control sockets until every node answers ``ping``.
+
+    Each pid is probed on its own bounded exponential backoff: while the
+    runner is still binding its sockets the dial fails fast
+    (``ConnectionRefusedError``) and the retry delay doubles from
+    ``PROBE_INITIAL_BACKOFF`` up to ``PROBE_MAX_BACKOFF`` — early probes
+    catch a fast boot within milliseconds, late ones stop hammering a
+    node that is grinding through WAL replay.
+
+    Returns per-pid boot latency in seconds (first successful ping,
+    measured from this call), or None when the deadline expired first.
+    """
+    start = time.monotonic()
+    pending = set(pids) if pids is not None else {e.pid for e in table.peers}
+    backoff = {pid: PROBE_INITIAL_BACKOFF for pid in pending}
+    next_probe = {pid: start for pid in pending}
+    latency: dict[int, float] = {}
+    while pending:
+        now = time.monotonic()
+        if now >= deadline:
+            return None
+        due = [pid for pid in sorted(pending) if next_probe[pid] <= now]
+        if not due:
+            wake = min(next_probe[pid] for pid in pending)
+            time.sleep(max(0.0, min(wake, deadline) - now))
+            continue
+        for pid in due:
             try:
                 response = control_call(
                     table.entry(pid).control_address, {"cmd": "ping"}, timeout=2.0
                 )
             except (OSError, ValueError):
+                next_probe[pid] = time.monotonic() + backoff[pid]
+                backoff[pid] = min(backoff[pid] * 2.0, PROBE_MAX_BACKOFF)
                 continue
             if response.get("ok") and response.get("ready"):
                 pending.discard(pid)
-        if pending:
-            time.sleep(poll)
-    return not pending
+                latency[pid] = time.monotonic() - start
+            else:
+                next_probe[pid] = time.monotonic() + backoff[pid]
+    return latency
 
 
 def wait_target(
@@ -168,13 +211,7 @@ def stop_all(table: PeerTable) -> None:
 # ----------------------------------------------------------------- spawning
 
 
-def spawn_runners(
-    table: PeerTable,
-    peers_path: Path,
-    out_dir: Path,
-    run_seconds: float,
-) -> list[subprocess.Popen]:
-    """One ``python -m repro tcp-node`` OS process per pid, logs captured."""
+def _runner_env() -> dict[str, str]:
     import repro
 
     src_dir = str(Path(repro.__file__).resolve().parents[1])
@@ -182,43 +219,228 @@ def spawn_runners(
     env["PYTHONPATH"] = src_dir + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    processes = []
-    for entry in table.peers:
-        log_path = out_dir / f"node-{entry.pid}.log"
-        with open(log_path, "w", encoding="utf-8") as log:
-            processes.append(
-                subprocess.Popen(
-                    [
-                        sys.executable,
-                        "-m",
-                        "repro",
-                        "tcp-node",
-                        "--peers",
-                        str(peers_path),
-                        "--pid",
-                        str(entry.pid),
-                        "--trace",
-                        str(out_dir / f"node-{entry.pid}.trace.jsonl"),
-                        "--run-seconds",
-                        str(run_seconds),
-                    ],
-                    stdout=log,
-                    stderr=subprocess.STDOUT,
-                    env=env,
-                )
-            )
-    return processes
+    return env
 
 
-def reap(processes: list[subprocess.Popen], timeout: float = 15.0) -> None:
+def spawn_runner(
+    pid: int,
+    peers_path: Path,
+    out_dir: Path,
+    run_seconds: float,
+    state_dir: Path | None = None,
+    log_mode: str = "w",
+) -> subprocess.Popen:
+    """One ``python -m repro tcp-node`` OS process, log captured.
+
+    A scenario restart passes ``log_mode="a"`` so the node's pre-crash
+    output survives next to its recovery banner.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "tcp-node",
+        "--peers",
+        str(peers_path),
+        "--pid",
+        str(pid),
+        "--trace",
+        str(out_dir / f"node-{pid}.trace.jsonl"),
+        "--run-seconds",
+        str(run_seconds),
+    ]
+    if state_dir is not None:
+        command += ["--state-dir", str(state_dir)]
+    log_path = out_dir / f"node-{pid}.log"
+    with open(log_path, log_mode, encoding="utf-8") as log:
+        return subprocess.Popen(
+            command, stdout=log, stderr=subprocess.STDOUT, env=_runner_env()
+        )
+
+
+def spawn_runners(
+    table: PeerTable,
+    peers_path: Path,
+    out_dir: Path,
+    run_seconds: float,
+    state_dirs: dict[int, Path] | None = None,
+) -> dict[int, subprocess.Popen]:
+    """One runner OS process per pid; returns them keyed by pid."""
+    return {
+        entry.pid: spawn_runner(
+            entry.pid,
+            peers_path,
+            out_dir,
+            run_seconds,
+            state_dir=(state_dirs or {}).get(entry.pid),
+        )
+        for entry in table.peers
+    }
+
+
+def reap(processes: Sequence[subprocess.Popen], timeout: float = 15.0) -> None:
+    """Wait for runners to exit, escalating terminate -> kill past the deadline.
+
+    A runner wedged mid-shutdown (or one that never saw its control stop)
+    first gets SIGTERM — the polite chance to flush its trace — and only
+    if it ignores that within the grace window is it SIGKILLed, so the
+    driver can never hang on a stuck child.
+    """
     deadline = time.monotonic() + timeout
     for process in processes:
         remaining = max(0.1, deadline - time.monotonic())
         try:
             process.wait(timeout=remaining)
+            continue
+        except subprocess.TimeoutExpired:
+            process.terminate()
+        try:
+            process.wait(timeout=5.0)
         except subprocess.TimeoutExpired:
             process.kill()
             process.wait()
+
+
+# ---------------------------------------------------------------- scenarios
+
+
+def max_decided_wave(table: PeerTable) -> int:
+    """Best-effort: the highest decided wave any reachable node reports."""
+    best = -1
+    for entry in table.peers:
+        try:
+            status = control_call(entry.control_address, {"cmd": "status"}, timeout=2.0)
+        except (OSError, ValueError):
+            continue
+        best = max(best, int(status.get("decided_wave", -1)))
+    return best
+
+
+def wait_wave(table: PeerTable, wave: int, deadline: float, poll: float = 0.2) -> bool:
+    """Block until any reachable node's decided wave reaches ``wave``."""
+    while time.monotonic() < deadline:
+        if max_decided_wave(table) >= wave:
+            return True
+        time.sleep(poll)
+    return False
+
+
+def fetch_digest_logs(table: PeerTable) -> dict[str, list[str]]:
+    """Every node's digest log over its control socket (all must answer)."""
+    return {
+        f"{entry.host}:{entry.pid}": control_call(
+            entry.control_address, {"cmd": "log"}, timeout=10.0
+        )["digests"]
+        for entry in table.peers
+    }
+
+
+def _crash_once(
+    step: ScenarioStep,
+    table: PeerTable,
+    peers_path: Path,
+    out_dir: Path,
+    state_dirs: dict[int, Path],
+    processes: dict[int, subprocess.Popen],
+    run_seconds: float,
+    deadline: float,
+    boot_latency: dict[int, float],
+) -> int:
+    """Kill one runner, restart it from its state dir, verify consistency."""
+    pid = step.pid
+    assert pid is not None
+    process = processes.get(pid)
+    if process is None or process.poll() is not None:
+        print(f"fabric: scenario: node {pid} is not running", file=sys.stderr)
+        return 2
+    if step.signal == "kill":
+        process.kill()
+    else:
+        process.terminate()
+    process.wait()
+    print(f"fabric: scenario: sent SIG{step.signal.upper()} to node {pid}")
+    time.sleep(step.restart_after)
+    processes[pid] = spawn_runner(
+        pid,
+        peers_path,
+        out_dir,
+        run_seconds,
+        state_dir=state_dirs[pid],
+        log_mode="a",
+    )
+    boot = wait_ready(table, deadline, pids=[pid])
+    if boot is None:
+        print(f"fabric: scenario: node {pid} failed to recover", file=sys.stderr)
+        return 2
+    boot_latency[pid] = boot[pid]
+    status = control_call(table.entry(pid).control_address, {"cmd": "status"})
+    recovery = status.get("recovery", {})
+    print(
+        f"fabric: scenario: node {pid} recovered in {boot[pid]:.2f}s "
+        f"(snapshot {recovery.get('snapshot_vertices', 0)} + "
+        f"wal {recovery.get('replayed_vertices', 0)} vertices, "
+        f"{recovery.get('replayed_commits', 0)} commits)"
+    )
+    # The hard guarantee: a recovered node's log must still be a prefix
+    # match with every peer — recovery may not rewrite history.
+    prefix = check_prefix_consistency(fetch_digest_logs(table))
+    print(f"fabric: scenario: post-recovery prefix OK ({prefix} entries)")
+    return 0
+
+
+def run_scenario(
+    scenario: Scenario,
+    table: PeerTable,
+    peers_path: Path,
+    out_dir: Path,
+    state_dirs: dict[int, Path],
+    processes: dict[int, subprocess.Popen],
+    run_seconds: float,
+    deadline: float,
+    boot_latency: dict[int, float],
+) -> int:
+    """Execute the scenario's steps in order; 0 = all passed."""
+    for index, step in enumerate(scenario.steps):
+        if not wait_wave(table, step.at_wave, deadline):
+            print(
+                f"fabric: scenario: step {index} ({step.kind}) timed out "
+                f"waiting for wave {step.at_wave}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"fabric: scenario: step {index}: {step.kind}")
+        if step.kind in ("crash", "churn"):
+            for _cycle in range(step.cycles if step.kind == "churn" else 1):
+                code = _crash_once(
+                    step, table, peers_path, out_dir, state_dirs,
+                    processes, run_seconds, deadline, boot_latency,
+                )
+                if code:
+                    return code
+        elif step.kind == "partition":
+            for group in step.groups:
+                others = [p for p in range(table.n) if p not in group]
+                for pid in group:
+                    control_call(
+                        table.entry(pid).control_address,
+                        {"cmd": "partition", "peers": others},
+                    )
+            print(f"fabric: scenario: partitioned {list(step.groups)}")
+            time.sleep(step.heal_after)
+            for entry in table.peers:
+                control_call(entry.control_address, {"cmd": "heal"})
+            print("fabric: scenario: partition healed")
+        elif step.kind == "slow":
+            assert step.pid is not None
+            address = table.entry(step.pid).control_address
+            control_call(address, {"cmd": "slow", "delay": step.delay})
+            print(
+                f"fabric: scenario: node {step.pid} slowed by "
+                f"{step.delay * 1000:.0f}ms/frame"
+            )
+            time.sleep(step.duration)
+            control_call(address, {"cmd": "slow", "delay": 0.0})
+    return 0
 
 
 # ------------------------------------------------------------------ merging
@@ -288,6 +510,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--peers", help="use this existing peer table instead of planning one"
     )
     parser.add_argument(
+        "--scenario",
+        help="chaos scenario file (.json/.toml): overrides n/seed/coin/waves/"
+        "timeout, spawns every runner with a --state-dir, and executes the "
+        "scenario's crash/partition/slow steps against the live cluster",
+    )
+    parser.add_argument(
         "--no-spawn",
         action="store_true",
         help="attach to already-running runners (remote hosts) instead of spawning",
@@ -309,6 +537,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not hosts:
         print("fabric: empty --hosts list", file=sys.stderr)
         return 2
+
+    scenario: Scenario | None = None
+    if args.scenario:
+        if args.peers or args.no_spawn:
+            print(
+                "fabric: --scenario drives its own local spawns; it cannot "
+                "be combined with --peers or --no-spawn",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            scenario = load_scenario(args.scenario)
+        except (ConfigurationError, OSError) as error:
+            print(f"fabric: bad scenario: {error}", file=sys.stderr)
+            return 2
+        args.n, args.seed, args.coin = scenario.n, scenario.seed, scenario.coin
+        args.waves, args.timeout = scenario.waves, scenario.timeout
+        print(
+            f"fabric: scenario '{scenario.name}': n={scenario.n} "
+            f"seed={scenario.seed} waves={scenario.waves} "
+            f"steps={len(scenario.steps)}"
+        )
+
     if args.peers:
         table = load_peer_table(args.peers)
         peers_path = Path(args.peers)
@@ -329,19 +580,49 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 2
 
-    processes: list[subprocess.Popen] = []
+    state_dirs: dict[int, Path] = {}
+    if scenario is not None:
+        state_dirs = {pid: out_dir / f"state-{pid}" for pid in range(table.n)}
+
+    run_seconds = args.timeout + 30.0
+    processes: dict[int, subprocess.Popen] = {}
     if not args.no_spawn:
         processes = spawn_runners(
-            table, peers_path, out_dir, run_seconds=args.timeout + 30.0
+            table,
+            peers_path,
+            out_dir,
+            run_seconds=run_seconds,
+            state_dirs=state_dirs or None,
         )
         print(f"fabric: spawned {len(processes)} runner processes")
 
     deadline = time.monotonic() + args.timeout
+    boot_latency: dict[int, float] = {}
     try:
-        if not wait_ready(table, deadline):
+        boot = wait_ready(table, deadline)
+        if boot is None:
             print("fabric: nodes failed to become ready in time", file=sys.stderr)
             return 2
-        print(f"fabric: all {table.n} nodes ready")
+        boot_latency.update(boot)
+        slowest = max(boot.values()) if boot else 0.0
+        print(f"fabric: all {table.n} nodes ready (slowest boot {slowest:.2f}s)")
+        if scenario is not None:
+            try:
+                code = run_scenario(
+                    scenario, table, peers_path, out_dir, state_dirs,
+                    processes, run_seconds, deadline, boot_latency,
+                )
+            except ConsistencyError as error:
+                print(
+                    f"fabric: TOTAL ORDER VIOLATION after recovery: {error}",
+                    file=sys.stderr,
+                )
+                return 1
+            except (OSError, ValueError) as error:
+                print(f"fabric: scenario: control failure: {error}", file=sys.stderr)
+                return 2
+            if code:
+                return code
         if not wait_target(table, args.waves, args.blocks, deadline):
             print(
                 f"fabric: target (waves>={args.waves}, blocks>={args.blocks}) "
@@ -371,8 +652,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     finally:
         stop_all(table)
         if processes:
-            reap(processes)
+            reap(list(processes.values()))
 
+    for pid, seconds in boot_latency.items():
+        if pid in statuses:
+            statuses[pid]["boot_seconds"] = round(seconds, 3)
     status_path = out_dir / "status.json"
     status_path.write_text(
         json.dumps({str(pid): status for pid, status in sorted(statuses.items())},

@@ -49,6 +49,14 @@ HEADER = struct.Struct(">I")
 #: ``8-byte sequence number`` leading every frame body.
 SEQ = struct.Struct(">Q")
 
+#: Sender handshake: ``pid byte || 8-byte boot incarnation``. The
+#: incarnation changes every time the sending process (re)starts, so a
+#: receiver can tell a reconnect (same incarnation — keep the duplicate
+#: cursor) from a restart (new incarnation — the sender's sequence space
+#: begins again at 1, so the old cursor must be reset or every frame the
+#: reborn peer sends would be dropped as a duplicate).
+HANDSHAKE = struct.Struct(">BQ")
+
 #: Sequence number reserved for control frames (acks, heartbeats).
 CONTROL_SEQ = 0
 
@@ -129,6 +137,7 @@ class LinkStats:
     redeliveries: int = 0
     duplicates_dropped: int = 0
     gaps: int = 0
+    peer_restarts: int = 0
     acks_sent: int = 0
     acks_received: int = 0
     heartbeats_sent: int = 0
@@ -163,11 +172,17 @@ class ReliableLink:
         n: int,
         chaos: "ChaosTransport | None" = None,
         obs: Observability | None = None,
+        incarnation: int = 0,
     ):
         self.pid = pid
         self.dst = dst
         self.addr = addr
+        self.incarnation = incarnation
         self.degraded = False
+        #: Extra per-frame write delay (seconds) — the "slow peer" fault.
+        self.extra_delay = 0.0
+        self._suspend_deadline = 0.0
+        self._blocked = False
         self._loop = loop
         self._stats = stats
         self._config = config
@@ -233,6 +248,18 @@ class ReliableLink:
         writer.close()
         return 1
 
+    def suspend_until(self, deadline: float) -> None:
+        """Blackout helper: cut the connection and hold redials until
+        ``deadline`` (loop time) — the sending half of a simulated crash."""
+        self._suspend_deadline = max(self._suspend_deadline, deadline)
+        self.sever()
+
+    def set_blocked(self, blocked: bool) -> None:
+        """Partition helper: while blocked, the link stays down (no dials)."""
+        self._blocked = blocked
+        if blocked:
+            self.sever()
+
     def _trim_degraded(self) -> None:
         while len(self._unacked) > self._config.max_degraded_queue:
             self._unacked.popleft()
@@ -256,6 +283,11 @@ class ReliableLink:
         if self._down_since is None:
             self._down_since = self._loop.time()
         while not self._closed:
+            hold = self._suspend_deadline - self._loop.time()
+            if self._blocked or hold > 0:
+                # Crashed or partitioned: stay dark, poll until released.
+                await asyncio.sleep(min(max(hold, 0.02), 0.1))
+                continue
             self._dial_attempts += 1
             writer = None
             try:
@@ -264,7 +296,7 @@ class ReliableLink:
                 ):
                     raise ConnectionRefusedError("chaos: dial failure injected")
                 reader, writer = await asyncio.open_connection(*self.addr)
-                writer.write(bytes([self.pid]))  # sender handshake
+                writer.write(HANDSHAKE.pack(self.pid, self.incarnation))
                 await writer.drain()
             except CONNECTION_ERRORS:
                 if writer is not None:
@@ -350,6 +382,8 @@ class ReliableLink:
         fate = None
         if self._chaos is not None:
             fate = self._chaos.plan(self.pid, self.dst, seq)
+        if self.extra_delay > 0:
+            await asyncio.sleep(self.extra_delay)
         if fate is not None and fate.delay > 0:
             # Head-of-line: frames behind this one wait too (congestion model).
             await asyncio.sleep(fate.delay)
@@ -367,6 +401,12 @@ class ReliableLink:
             self.pid, self.dst, seq
         ):
             raise ChaosSever(f"chaos severed link to {self.dst}")
+        if self._chaos is not None and self._chaos.crash_after_write(
+            self.pid, self.dst, seq
+        ):
+            # The bound handler just blacked out the whole node (including
+            # this link); cut the write loop at the crash point too.
+            raise ChaosSever(f"chaos crash-restarted node {self.pid}")
 
     async def _send_heartbeat(self) -> None:
         writer = self._writer

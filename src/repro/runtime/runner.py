@@ -35,9 +35,10 @@ from repro.core.node import DagRiderNode
 from repro.crypto.dealer import CoinDealer
 from repro.obs.context import Observability
 from repro.obs.export import dump_trace, dumps_trace
-from repro.runtime.consistency import digest_log
+from repro.runtime.consistency import full_digest_log
 from repro.runtime.peers import PeerTable
 from repro.runtime.transport import TcpNetwork
+from repro.storage.journal import NodeJournal, RecoveryReport, recover_node
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.chaos import ChaosTransport
@@ -54,6 +55,8 @@ class NodeRunner:
         chaos: "ChaosTransport | None" = None,
         dealer: CoinDealer | None = None,
         node_kwargs: dict | None = None,
+        state_dir: str | None = None,
+        fsync: str = "commit",
     ):
         self.table = table
         self.pid = pid
@@ -63,10 +66,14 @@ class NodeRunner:
         self._chaos = chaos
         self._dealer = dealer
         self._node_kwargs = dict(node_kwargs or {})
+        self.state_dir = state_dir
+        self._fsync = fsync
         self._stop = asyncio.Event()
         self._closed = False
         self.network: TcpNetwork | None = None
         self.node: DagRiderNode | None = None
+        self.journal: NodeJournal | None = None
+        self.recovery: RecoveryReport | None = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -86,19 +93,34 @@ class NodeRunner:
         dealer = self._dealer
         if dealer is None:
             dealer = self.table.make_dealer()
+        if self.state_dir is not None:
+            self.journal = NodeJournal(
+                self.state_dir,
+                pid=self.pid,
+                fsync=self._fsync,
+                obs=self.observability,
+            )
         self.node = DagRiderNode(
             self.pid,
             self.network,
             coin_mode=self.table.coin_mode,
             dealer=dealer,
+            journal=self.journal,
             **self._node_kwargs,
         )
+        if self.journal is not None:
+            # Replay snapshot + WAL into the freshly built stack *before*
+            # the protocol starts (and before peers can race deliveries in).
+            self.recovery = recover_node(self.node, self.journal)
 
     def launch(self) -> None:
         """Start the protocol (first broadcast); requires :meth:`boot`."""
         if self.node is None:
             raise RuntimeError(f"runner {self.pid} not booted")
         self.node.start()
+        if self.recovery is not None and self.recovery.recovered:
+            # Rejoin: pull the DAG suffix peers built while we were down.
+            self.node.request_catchup()
 
     async def close_links(self) -> None:
         """Quiesce outbound links only (first phase of cluster teardown)."""
@@ -112,6 +134,8 @@ class NodeRunner:
         self._closed = True
         if self.network is not None:
             await self.network.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def request_stop(self) -> None:
         """Ask :meth:`wait_stopped` to return (control ``stop``, signals)."""
@@ -131,20 +155,29 @@ class NodeRunner:
     def status(self) -> dict[str, object]:
         """Liveness snapshot the fabric driver polls."""
         node = self.node
-        return {
+        status: dict[str, object] = {
             "ok": True,
             "pid": self.pid,
             "ready": node is not None,
-            "ordered": len(node.ordered) if node is not None else 0,
+            "ordered": len(self.ordered_digests()),
             "decided_wave": node.decided_wave if node is not None else -1,
             "current_round": node.current_round if node is not None else -1,
         }
+        if self.recovery is not None:
+            status["recovered"] = self.recovery.recovered
+            status["recovery"] = self.recovery.as_dict()
+        return status
 
     def ordered_digests(self) -> list[str]:
-        """This node's delivery log as entry digests (hex)."""
+        """This node's delivery log as entry digests (hex).
+
+        Includes the digests of entries delivered before the last restart
+        (carried through the snapshot), so a recovered node's log lines up
+        position-for-position with its uninterrupted peers.
+        """
         if self.node is None:
             return []
-        return digest_log(self.node.ordered)
+        return full_digest_log(self.node)
 
     def link_report(self) -> dict[str, object]:
         if self.network is None:
@@ -221,6 +254,21 @@ class ControlServer:
             return {"ok": True, "pid": runner.pid, "report": runner.link_report()}
         if command == "trace":
             return {"ok": True, "pid": runner.pid, "trace": runner.trace_text()}
+        if command == "partition":
+            peers = sorted(int(p) for p in request.get("peers", []))
+            if runner.network is not None:
+                runner.network.block_peers(set(peers))
+            return {"ok": True, "pid": runner.pid, "blocked": peers}
+        if command == "heal":
+            if runner.network is not None:
+                runner.network.heal()
+                runner.network.set_peer_delay(0.0)
+            return {"ok": True, "pid": runner.pid, "healed": True}
+        if command == "slow":
+            delay = float(request.get("delay", 0.0))
+            if runner.network is not None:
+                runner.network.set_peer_delay(delay)
+            return {"ok": True, "pid": runner.pid, "delay": delay}
         if command == "stop":
             runner.request_stop()
             return {"ok": True, "pid": runner.pid, "stopping": True}
@@ -260,6 +308,7 @@ async def serve_node(
     trace_path: str | None = None,
     run_seconds: float | None = None,
     announce: bool = True,
+    state_dir: str | None = None,
 ) -> int:
     """Run one node process until stopped over control (or the deadline).
 
@@ -273,15 +322,22 @@ async def serve_node(
             f"peer {pid} has no control_port; tcp-node needs one to be driven"
         )
     observability = Observability()
-    runner = NodeRunner(table, pid, observability=observability)
+    runner = NodeRunner(table, pid, observability=observability, state_dir=state_dir)
     await runner.boot()
     runner.launch()
     control = ControlServer(runner, entry.host, entry.control_port)
     await control.start()
     if announce:
+        recovered = ""
+        if runner.recovery is not None and runner.recovery.recovered:
+            recovered = (
+                f" (recovered: {runner.recovery.snapshot_vertices} snapshot + "
+                f"{runner.recovery.replayed_vertices} wal vertices, "
+                f"{runner.recovery.replayed_commits} commits)"
+            )
         print(
             f"node {pid}/{table.n} up: data {entry.host}:{entry.port} "
-            f"control {entry.host}:{entry.control_port}",
+            f"control {entry.host}:{entry.control_port}{recovered}",
             flush=True,
         )
     stopped_clean = await runner.wait_stopped(timeout=run_seconds)
@@ -300,11 +356,18 @@ def run_node(
     pid: int,
     trace_path: str | None = None,
     run_seconds: float | None = 300.0,
+    state_dir: str | None = None,
 ) -> int:
     """Synchronous entry point used by the CLI."""
     from repro.runtime.peers import load_peer_table
 
     table = load_peer_table(peers_path)
     return asyncio.run(
-        serve_node(table, pid, trace_path=trace_path, run_seconds=run_seconds)
+        serve_node(
+            table,
+            pid,
+            trace_path=trace_path,
+            run_seconds=run_seconds,
+            state_dir=state_dir,
+        )
     )

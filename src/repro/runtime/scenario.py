@@ -1,0 +1,224 @@
+"""Declarative chaos scenarios for the fabric driver.
+
+A scenario is a JSON or TOML document describing a run shape (``n``,
+``seed``, ``coin``, target ``waves``) plus an ordered list of fault steps
+the driver executes against *real runner processes* — real ``SIGKILL``,
+real re-exec with ``--state-dir``, real TCP partitions over each node's
+control socket:
+
+.. code-block:: json
+
+    {
+      "name": "crash-restart",
+      "n": 4,
+      "seed": 7,
+      "waves": 5,
+      "steps": [
+        {"kind": "crash", "pid": 1, "at_wave": 1,
+         "signal": "kill", "restart_after": 0.5}
+      ]
+    }
+
+Step kinds:
+
+* ``crash`` — kill runner ``pid`` (``signal``: ``kill`` = SIGKILL, ``term``
+  = SIGTERM) once any surviving node's decided wave reaches ``at_wave``,
+  wait ``restart_after`` seconds, then respawn it from its state dir and
+  require the cross-host digest prefix check to pass after recovery;
+* ``churn`` — a crash repeated ``cycles`` times (crash loop);
+* ``partition`` — split the cluster into ``groups`` (each node blocks every
+  pid outside its group) for ``heal_after`` seconds, then heal;
+* ``slow`` — add ``delay`` seconds before every frame ``pid`` writes, for
+  ``duration`` seconds.
+
+Validation is strict and upfront — a typo'd scenario fails before any
+process is spawned, not twenty seconds into a run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+STEP_KINDS = ("crash", "churn", "partition", "slow")
+CRASH_SIGNALS = ("kill", "term")
+
+
+@dataclass(frozen=True)
+class ScenarioStep:
+    """One fault-injection step of a scenario."""
+
+    kind: str
+    pid: int | None = None
+    groups: tuple[tuple[int, ...], ...] = ()
+    at_wave: int = 1
+    signal: str = "kill"
+    restart_after: float = 0.5
+    heal_after: float = 2.0
+    delay: float = 0.05
+    duration: float = 2.0
+    cycles: int = 1
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named run shape plus its ordered fault steps."""
+
+    name: str
+    n: int = 4
+    seed: int = 7
+    coin: str = "ideal"
+    waves: int = 5
+    timeout: float = 120.0
+    steps: tuple[ScenarioStep, ...] = field(default=())
+
+
+def _require_number(raw: dict, key: str, where: str, minimum: float = 0.0) -> None:
+    value = raw.get(key)
+    if value is None:
+        return
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{where}: {key} must be a number, got {value!r}")
+    if value < minimum:
+        raise ConfigurationError(f"{where}: {key} must be >= {minimum}, got {value}")
+
+
+def parse_step(raw: dict, index: int, n: int) -> ScenarioStep:
+    """Validate and freeze one step object."""
+    where = f"step {index}"
+    if not isinstance(raw, dict):
+        raise ConfigurationError(f"{where}: must be an object, got {raw!r}")
+    kind = raw.get("kind")
+    if kind not in STEP_KINDS:
+        raise ConfigurationError(
+            f"{where}: kind must be one of {STEP_KINDS}, got {kind!r}"
+        )
+    known = {
+        "kind", "pid", "groups", "at_wave", "signal",
+        "restart_after", "heal_after", "delay", "duration", "cycles",
+    }
+    unknown = set(raw) - known
+    if unknown:
+        raise ConfigurationError(f"{where}: unknown keys {sorted(unknown)}")
+    for key, minimum in (
+        ("at_wave", 1), ("restart_after", 0.0), ("heal_after", 0.0),
+        ("delay", 0.0), ("duration", 0.0), ("cycles", 1),
+    ):
+        _require_number(raw, key, where, minimum)
+
+    pid = raw.get("pid")
+    if kind in ("crash", "churn", "slow"):
+        if not isinstance(pid, int) or isinstance(pid, bool) or not 0 <= pid < n:
+            raise ConfigurationError(
+                f"{where}: {kind} needs a pid in [0, {n}), got {pid!r}"
+            )
+    signal = raw.get("signal", "kill")
+    if signal not in CRASH_SIGNALS:
+        raise ConfigurationError(
+            f"{where}: signal must be one of {CRASH_SIGNALS}, got {signal!r}"
+        )
+
+    groups: tuple[tuple[int, ...], ...] = ()
+    if kind == "partition":
+        raw_groups = raw.get("groups")
+        if not isinstance(raw_groups, list) or len(raw_groups) < 2:
+            raise ConfigurationError(
+                f"{where}: partition needs >= 2 groups, got {raw_groups!r}"
+            )
+        seen: set[int] = set()
+        built = []
+        for group in raw_groups:
+            if not isinstance(group, list) or not group:
+                raise ConfigurationError(
+                    f"{where}: each group must be a non-empty pid list"
+                )
+            for member in group:
+                if not isinstance(member, int) or not 0 <= member < n:
+                    raise ConfigurationError(
+                        f"{where}: group member {member!r} outside [0, {n})"
+                    )
+                if member in seen:
+                    raise ConfigurationError(
+                        f"{where}: pid {member} appears in two groups"
+                    )
+                seen.add(member)
+            built.append(tuple(sorted(group)))
+        if seen != set(range(n)):
+            raise ConfigurationError(
+                f"{where}: groups must cover every pid 0..{n - 1} exactly once"
+            )
+        groups = tuple(built)
+
+    return ScenarioStep(
+        kind=kind,
+        pid=pid if isinstance(pid, int) and not isinstance(pid, bool) else None,
+        groups=groups,
+        at_wave=int(raw.get("at_wave", 1)),
+        signal=signal,
+        restart_after=float(raw.get("restart_after", 0.5)),
+        heal_after=float(raw.get("heal_after", 2.0)),
+        delay=float(raw.get("delay", 0.05)),
+        duration=float(raw.get("duration", 2.0)),
+        cycles=int(raw.get("cycles", 1)),
+    )
+
+
+def parse_scenario(raw: dict, origin: str = "<scenario>") -> Scenario:
+    """Validate a decoded scenario document into a :class:`Scenario`."""
+    if not isinstance(raw, dict):
+        raise ConfigurationError(f"{origin}: scenario must be an object")
+    known = {"name", "n", "seed", "coin", "waves", "timeout", "steps"}
+    unknown = set(raw) - known
+    if unknown:
+        raise ConfigurationError(f"{origin}: unknown keys {sorted(unknown)}")
+    name = raw.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(f"{origin}: scenario needs a non-empty name")
+    n = raw.get("n", 4)
+    if not isinstance(n, int) or isinstance(n, bool) or n < 4:
+        raise ConfigurationError(f"{origin}: n must be an int >= 4, got {n!r}")
+    coin = raw.get("coin", "ideal")
+    if coin not in ("ideal", "threshold", "piggyback"):
+        raise ConfigurationError(f"{origin}: unknown coin mode {coin!r}")
+    for key, minimum in (("seed", 0), ("waves", 1), ("timeout", 1.0)):
+        _require_number(raw, key, origin, minimum)
+    raw_steps = raw.get("steps", [])
+    if not isinstance(raw_steps, list):
+        raise ConfigurationError(f"{origin}: steps must be a list")
+    steps = tuple(
+        parse_step(step, index, n) for index, step in enumerate(raw_steps)
+    )
+    # A SIGKILLed node can only come back because of its state dir; the
+    # fabric always spawns scenario runs with --state-dir, so any pid is
+    # fair game — but crashing more than f nodes at once would stall the
+    # run, and steps are sequential, so one-at-a-time is safe by shape.
+    return Scenario(
+        name=name,
+        n=n,
+        seed=int(raw.get("seed", 7)),
+        coin=coin,
+        waves=int(raw.get("waves", 5)),
+        timeout=float(raw.get("timeout", 120.0)),
+        steps=steps,
+    )
+
+
+def load_scenario(path: str) -> Scenario:
+    """Load and validate a scenario file (``.json`` or ``.toml``)."""
+    if path.endswith(".toml"):
+        import tomllib
+
+        with open(path, "rb") as stream:
+            try:
+                raw = tomllib.load(stream)
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigurationError(f"{path}: invalid TOML: {exc}") from exc
+    else:
+        with open(path, "r", encoding="utf-8") as stream:
+            try:
+                raw = json.load(stream)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(f"{path}: invalid JSON: {exc}") from exc
+    return parse_scenario(raw, origin=path)

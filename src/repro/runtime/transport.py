@@ -5,9 +5,11 @@ dials peers through :class:`repro.runtime.reliable.ReliableLink` (per-peer
 outbound queues, sequence numbers, ack-based redelivery, backoff,
 heartbeats), frames messages as ``4-byte length || 8-byte seq || canonical
 codec`` (:mod:`repro.codec` — no pickle on the wire), and authenticates the
-sender with a one-byte-pid handshake validated against the configuration
-(adequate for a localhost demo; a deployment would wrap the stream in
-TLS/noise — see ROADMAP).
+sender with a ``pid || boot incarnation`` handshake validated against the
+configuration (adequate for a localhost demo; a deployment would wrap the
+stream in TLS/noise — see ROADMAP). The incarnation lets a receiver reset
+its duplicate cursor when a peer restarts from its state dir and begins a
+fresh sequence space.
 
 The pieces :class:`repro.core.node.DagRiderNode` actually touches are kept
 signature-compatible with :class:`repro.sim.network.Network`:
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 from typing import TYPE_CHECKING
 
 from repro.codec import decode_message, encode_message
@@ -34,6 +37,7 @@ from repro.obs.context import Observability
 from repro.runtime.reliable import (
     CONNECTION_ERRORS,
     CONTROL_SEQ,
+    HANDSHAKE,
     HEADER,
     SEQ,
     LinkConfig,
@@ -124,8 +128,19 @@ class TcpNetwork:
         self._links: dict[int, ReliableLink] = {}
         self._inbound: dict[int, _Inbound] = {}
         self._recv_cursor: dict[int, int] = {}  # survives reconnects
+        #: This boot's handshake incarnation. A restarted process numbers
+        #: its outbound frames from 1 again; peers use the incarnation
+        #: change to reset their duplicate cursor for us (monotonic_ns is
+        #: system-wide, so each boot on a host gets a strictly larger one).
+        self.incarnation = time.monotonic_ns() & (2**64 - 1)
+        self._peer_incarnation: dict[int, int] = {}
         self._accept_tasks: set[asyncio.Task] = set()
         self._closed = False
+        self._blackout_until = 0.0  # loop time; crash_restart fault window
+        self._blocked: set[int] = set()  # partitioned peers (both directions)
+        self._peer_delay = 0.0
+        if chaos is not None:
+            chaos.bind_node(pid, self.simulate_crash)
 
     # ------------------------------------------------------- node interface
 
@@ -183,7 +198,14 @@ class TcpNetwork:
                 n=self.config.n,
                 chaos=self.chaos,
                 obs=self.obs,
+                incarnation=self.incarnation,
             )
+            # A link created mid-fault inherits the node's current faults.
+            link.extra_delay = self._peer_delay
+            if dst in self._blocked:
+                link.set_blocked(True)
+            if self._blackout_until > self._loop.time():
+                link.suspend_until(self._blackout_until)
             self._links[dst] = link
         return link
 
@@ -218,6 +240,50 @@ class TcpNetwork:
                 state.writer.close()
                 cut += 1
         return cut
+
+    def simulate_crash(self, downtime: float) -> int:
+        """Black this node out for ``downtime`` seconds (crash_restart fault).
+
+        Every live connection is cut, outbound redials are held, and inbound
+        connections are refused until the rebirth deadline. The node's
+        in-memory protocol state survives — this models a crash + instant
+        state recovery; full process death is the scenario matrix's job.
+        Returns the number of connections cut.
+        """
+        self._blackout_until = max(
+            self._blackout_until, self._loop.time() + downtime
+        )
+        for link in self._links.values():
+            link.suspend_until(self._blackout_until)
+        cut = 0
+        for state in list(self._inbound.values()):
+            if not state.writer.is_closing():
+                state.writer.close()
+                cut += 1
+        if self.obs is not None:
+            self.obs.emit(self.pid, "node_blackout", downtime=downtime)
+        return cut
+
+    def block_peers(self, peers: set[int] | frozenset[int]) -> None:
+        """Partition helper: stop talking to (and hearing from) ``peers``."""
+        self._blocked = set(peers) - {self.pid}
+        for dst, link in self._links.items():
+            link.set_blocked(dst in self._blocked)
+        for src, state in list(self._inbound.items()):
+            if src in self._blocked and not state.writer.is_closing():
+                state.writer.close()
+
+    def heal(self) -> None:
+        """Lift any partition installed by :meth:`block_peers`."""
+        self._blocked = set()
+        for link in self._links.values():
+            link.set_blocked(False)
+
+    def set_peer_delay(self, delay: float) -> None:
+        """Slow-peer fault: add ``delay`` seconds before every frame write."""
+        self._peer_delay = max(0.0, delay)
+        for link in self._links.values():
+            link.extra_delay = self._peer_delay
 
     # ------------------------------------------------------------ lifecycle
 
@@ -271,11 +337,27 @@ class TcpNetwork:
         state = _Inbound(writer)
         src = -1
         try:
-            src = (await reader.readexactly(1))[0]
+            src, incarnation = HANDSHAKE.unpack(
+                await reader.readexactly(HANDSHAKE.size)
+            )
             if not self._valid_handshake(src):
                 # Never trust an out-of-range (or self-addressed) pid byte.
                 self.link_stats.handshake_rejects += 1
                 return
+            if self._loop.time() < self._blackout_until or src in self._blocked:
+                # Crashed (blacked out) or partitioned from this peer:
+                # refuse the connection; the sender backs off and redials.
+                return
+            last = self._peer_incarnation.get(src)
+            if last is not None and last != incarnation:
+                # The peer restarted: its fresh links number frames from 1,
+                # so the surviving cursor would swallow everything it sends.
+                self._recv_cursor[src] = 0
+                self.link_stats.peer_restarts += 1
+                if self.obs is not None:
+                    self.obs.emit(self.pid, "link_peer_restart", src=src)
+                    self.obs.registry.counter("link.peer_restarts").inc()
+            self._peer_incarnation[src] = incarnation
             prior = self._inbound.get(src)
             if prior is not None:
                 # At most one live inbound connection per peer: a fresh

@@ -1,0 +1,42 @@
+"""Durable node state: write-ahead log, snapshots, and crash recovery.
+
+DAG-Rider's proofs count a crashed process against the Byzantine budget
+``f``; a deployment instead wants correct nodes to *come back*. This
+package gives the runtime that: every vertex a node inserts, every vertex
+it creates, and every wave it commits is journaled to an append-only
+CRC-framed WAL; :class:`repro.dag.store.DagStore` compactions trigger
+atomic snapshots that bound replay work; and
+:func:`repro.storage.journal.recover_node` rebuilds a node's DAG, ordering
+position, and delivered-log prefix from disk so it can rejoin via the
+catch-up protocol instead of starting from genesis.
+
+The package is intentionally outside the determinism-lint scope
+(``repro.lint`` DET002): durable storage is runtime-side and may consult
+``time.monotonic`` for replay-duration metrics.
+"""
+
+from repro.storage.journal import NodeJournal, RecoveryReport, recover_node
+from repro.storage.snapshot import Snapshot, load_snapshot, write_snapshot
+from repro.storage.wal import (
+    WAL_COMMIT,
+    WAL_CREATED,
+    WAL_VERTEX,
+    WalRecord,
+    WriteAheadLog,
+    read_wal,
+)
+
+__all__ = [
+    "NodeJournal",
+    "RecoveryReport",
+    "Snapshot",
+    "WAL_COMMIT",
+    "WAL_CREATED",
+    "WAL_VERTEX",
+    "WalRecord",
+    "WriteAheadLog",
+    "load_snapshot",
+    "read_wal",
+    "recover_node",
+    "write_snapshot",
+]

@@ -6,7 +6,7 @@ from repro.broadcast.gossip import GossipSubscribe
 from repro.codec import encode_message
 from repro.common.config import SystemConfig
 from repro.runtime.peers import allocate_port_block
-from repro.runtime.reliable import LinkConfig, frame_bytes
+from repro.runtime.reliable import HANDSHAKE, LinkConfig, frame_bytes
 from repro.runtime.transport import TcpNetwork
 
 
@@ -46,7 +46,7 @@ async def busy_link_control_bits(link_config: LinkConfig) -> tuple[int, int]:
     await net.start()
     try:
         _reader, writer = await asyncio.open_connection(*peers[0])
-        writer.write(bytes([1]))  # handshake as pid 1
+        writer.write(HANDSHAKE.pack(1, 1))  # handshake as pid 1
         blob = b"".join(
             frame_bytes(seq, encode_message(GossipSubscribe(f"m{seq}")))
             for seq in range(1, FRAMES + 1)
@@ -89,7 +89,7 @@ def test_batched_ack_is_cumulative():
         await net.start()
         try:
             reader, writer = await asyncio.open_connection(*peers[0])
-            writer.write(bytes([1]))
+            writer.write(HANDSHAKE.pack(1, 1))
             writer.write(
                 b"".join(
                     frame_bytes(seq, encode_message(GossipSubscribe(f"m{seq}")))

@@ -12,6 +12,7 @@ from repro.common.errors import ConfigurationError
 from repro.runtime.chaos import ChaosConfig, ChaosTransport
 from repro.runtime.peers import allocate_port_block
 from repro.runtime.reliable import (
+    HANDSHAKE,
     HEADER,
     SEQ,
     LinkConfig,
@@ -252,7 +253,7 @@ class TestHandshakeHardening:
             nets, sinks = make_pair(n=2)
             await nets[0].start()
             reader, writer = await asyncio.open_connection(*nets[0].peers[0])
-            writer.write(bytes([77]))  # not a pid of this cluster
+            writer.write(HANDSHAKE.pack(77, 1))  # not a pid of this cluster
             payload = encode_message(GossipSubscribe("evil"))
             writer.write(frame_bytes(1, payload))
             await writer.drain()
@@ -272,7 +273,7 @@ class TestHandshakeHardening:
             nets, sinks = make_pair(n=2)
             await nets[0].start()
             _reader, writer = await asyncio.open_connection(*nets[0].peers[0])
-            writer.write(bytes([0]))  # claims to be the node itself
+            writer.write(HANDSHAKE.pack(0, 1))  # claims to be the node itself
             await writer.drain()
             assert await eventually(
                 lambda: nets[0].link_stats.handshake_rejects == 1
@@ -288,7 +289,7 @@ class TestHandshakeHardening:
             nets, sinks = make_pair(n=2)
             await nets[0].start()
             reader, writer = await asyncio.open_connection(*nets[0].peers[0])
-            writer.write(bytes([1]))  # valid handshake
+            writer.write(HANDSHAKE.pack(1, 1))  # valid handshake
             writer.write(HEADER.pack(12) + b"\xff" * 12)  # undecodable frame
             await writer.drain()
             assert await eventually(lambda: reader.at_eof(), timeout=5.0)
@@ -304,10 +305,10 @@ class TestHandshakeHardening:
             nets, sinks = make_pair(n=2)
             await nets[0].start()
             _r1, w1 = await asyncio.open_connection(*nets[0].peers[0])
-            w1.write(bytes([1]))
+            w1.write(HANDSHAKE.pack(1, 1))
             await w1.drain()
             _r2, w2 = await asyncio.open_connection(*nets[0].peers[0])
-            w2.write(bytes([1]))
+            w2.write(HANDSHAKE.pack(1, 1))
             await w2.drain()
             assert await eventually(
                 lambda: nets[0].link_stats.superseded_connections == 1
@@ -319,6 +320,49 @@ class TestHandshakeHardening:
             assert await eventually(lambda: len(sinks[0].received) == 1)
             w1.close()
             w2.close()
+            for net in nets:
+                await net.close()
+
+        asyncio.run(main())
+
+    def test_new_incarnation_resets_duplicate_cursor(self):
+        """A restarted peer's fresh sequence space must not be swallowed.
+
+        The duplicate cursor deliberately survives reconnects (same
+        incarnation: redelivered frames are dropped), but a *restarted*
+        sender numbers frames from 1 again — the incarnation change in the
+        handshake is what tells the two cases apart.
+        """
+
+        async def main():
+            nets, sinks = make_pair(n=2)
+            await nets[0].start()
+            _r1, w1 = await asyncio.open_connection(*nets[0].peers[0])
+            w1.write(HANDSHAKE.pack(1, 100))  # first boot
+            w1.write(frame_bytes(1, encode_message(GossipSubscribe("before"))))
+            await w1.drain()
+            assert await eventually(lambda: len(sinks[0].received) == 1)
+
+            # Same incarnation, same seq: a redelivery, dropped as duplicate.
+            _r2, w2 = await asyncio.open_connection(*nets[0].peers[0])
+            w2.write(HANDSHAKE.pack(1, 100))
+            w2.write(frame_bytes(1, encode_message(GossipSubscribe("dup"))))
+            await w2.drain()
+            assert await eventually(
+                lambda: nets[0].link_stats.duplicates_dropped == 1
+            )
+            assert len(sinks[0].received) == 1
+
+            # New incarnation, same seq: a restarted peer, cursor reset.
+            _r3, w3 = await asyncio.open_connection(*nets[0].peers[0])
+            w3.write(HANDSHAKE.pack(1, 200))
+            w3.write(frame_bytes(1, encode_message(GossipSubscribe("reborn"))))
+            await w3.drain()
+            assert await eventually(lambda: len(sinks[0].received) == 2)
+            assert nets[0].link_stats.peer_restarts == 1
+            assert sinks[0].received[1][1] == GossipSubscribe("reborn")
+            for writer in (w1, w2, w3):
+                writer.close()
             for net in nets:
                 await net.close()
 

@@ -1,0 +1,137 @@
+"""Scenario schema: strict upfront validation of chaos scenario files."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.runtime.scenario import load_scenario, parse_scenario, parse_step
+
+
+def minimal(**overrides):
+    raw = {
+        "name": "smoke",
+        "steps": [{"kind": "crash", "pid": 1}],
+    }
+    raw.update(overrides)
+    return raw
+
+
+class TestParseScenario:
+    def test_defaults_fill_in(self):
+        scenario = parse_scenario(minimal())
+        assert scenario.name == "smoke"
+        assert (scenario.n, scenario.seed, scenario.coin) == (4, 7, "ideal")
+        assert scenario.waves == 5
+        step = scenario.steps[0]
+        assert (step.kind, step.pid, step.signal) == ("crash", 1, "kill")
+        assert step.at_wave == 1 and step.cycles == 1
+
+    def test_explicit_fields_override(self):
+        scenario = parse_scenario(
+            minimal(n=5, seed=13, coin="threshold", waves=2, timeout=30.0)
+        )
+        assert scenario.n == 5 and scenario.seed == 13
+        assert scenario.coin == "threshold"
+        assert scenario.waves == 2 and scenario.timeout == 30.0
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            {"name": ""},  # empty name
+            {"name": 7},  # non-string name
+            {"n": 3},  # below the 3f+1 floor for f=1
+            {"n": "four"},
+            {"coin": "quantum"},
+            {"waves": 0},
+            {"timeout": 0.5},
+            {"steps": "crash"},
+            {"bogus": True},  # unknown top-level key
+        ],
+    )
+    def test_invalid_documents_rejected(self, broken):
+        with pytest.raises(ConfigurationError):
+            parse_scenario(minimal(**broken))
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_scenario(["not", "an", "object"])
+
+
+class TestParseStep:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            parse_step({"kind": "crash", "pid": 0, "restart": 1}, 0, 4)
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            {"kind": "explode", "pid": 0},
+            {"kind": "crash"},  # crash needs a pid
+            {"kind": "crash", "pid": 4},  # out of range for n=4
+            {"kind": "crash", "pid": True},  # bool is not a pid
+            {"kind": "crash", "pid": 0, "signal": "hup"},
+            {"kind": "crash", "pid": 0, "at_wave": 0},
+            {"kind": "churn", "pid": 0, "cycles": 0},
+            {"kind": "slow", "pid": 0, "delay": -0.1},
+        ],
+    )
+    def test_invalid_steps_rejected(self, broken):
+        with pytest.raises(ConfigurationError):
+            parse_step(broken, 0, 4)
+
+    def test_partition_groups_must_cover_every_pid_once(self):
+        good = parse_step(
+            {"kind": "partition", "groups": [[0, 1], [2, 3]]}, 0, 4
+        )
+        assert good.groups == ((0, 1), (2, 3))
+        for groups in (
+            [[0, 1]],  # only one group
+            [[0, 1], [2]],  # pid 3 missing
+            [[0, 1], [1, 2, 3]],  # pid 1 twice
+            [[0, 1], [2, 9]],  # out of range
+            [[0, 1], []],  # empty group
+        ):
+            with pytest.raises(ConfigurationError):
+                parse_step({"kind": "partition", "groups": groups}, 0, 4)
+
+
+class TestLoadScenario:
+    def test_loads_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(
+            '{"name": "j", "steps": [{"kind": "crash", "pid": 2}]}',
+            encoding="utf-8",
+        )
+        scenario = load_scenario(str(path))
+        assert scenario.name == "j" and scenario.steps[0].pid == 2
+
+    def test_loads_toml(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text(
+            'name = "t"\nwaves = 2\n\n[[steps]]\nkind = "slow"\npid = 0\n'
+            "delay = 0.2\n",
+            encoding="utf-8",
+        )
+        scenario = load_scenario(str(path))
+        assert scenario.name == "t" and scenario.waves == 2
+        assert scenario.steps[0].kind == "slow"
+        assert scenario.steps[0].delay == 0.2
+
+    def test_invalid_json_reports_the_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="bad.json"):
+            load_scenario(str(path))
+
+    def test_invalid_toml_reports_the_path(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("= broken =", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="bad.toml"):
+            load_scenario(str(path))
+
+    def test_repo_scenario_file_is_valid(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        scenario = load_scenario(str(repo / "scenarios" / "crash-restart.json"))
+        assert scenario.name == "crash-restart"
+        assert scenario.steps[0].kind == "crash"
