@@ -11,14 +11,21 @@ ordering blocks with prefix-consistent logs on every node.
 The fault *schedule* (which frames on which links misbehave) is a pure
 function of the seed, so a failure found here replays exactly.
 
+The full protocol event trace — including the transport's chaos-injection
+events — is recorded through the observability bus and written as a
+``repro.obs.trace`` v1 JSONL file for post-mortem analysis.
+
 Usage::
 
-    python examples/chaos_cluster.py
+    python examples/chaos_cluster.py [--trace PATH]
 """
 
+import argparse
 import asyncio
 
 from repro import SystemConfig
+from repro.obs.context import Observability
+from repro.obs.export import dump_trace
 from repro.runtime.chaos import ChaosConfig, ChaosTransport
 from repro.runtime.cluster import LocalCluster
 from repro.runtime.reliable import LinkConfig
@@ -26,7 +33,7 @@ from repro.runtime.reliable import LinkConfig
 SEED = 42
 
 
-async def main() -> None:
+async def main(trace_path: str) -> None:
     chaos = ChaosTransport(
         SEED,
         ChaosConfig(
@@ -38,11 +45,13 @@ async def main() -> None:
             dial_fail_rate=0.15,
         ),
     )
+    observability = Observability()
     cluster = LocalCluster(
         SystemConfig(n=4, seed=SEED),
         base_port=9600,
         link_config=LinkConfig(initial_backoff=0.02, max_backoff=0.3),
         chaos=chaos,
+        observability=observability,
     )
 
     reached = await cluster.run_until(
@@ -75,6 +84,24 @@ async def main() -> None:
         print(f"  node {node.pid}: ordered {len(node.ordered):>3} blocks")
     print("prefix-consistent logs despite chaos: OK")
 
+    dump_trace(
+        trace_path,
+        observability.bus.events,
+        meta={"example": "chaos_cluster", "n": 4, "seed": SEED},
+        metrics={
+            "registry": observability.snapshot(),
+            "chaos": fault,
+            "links": report,
+        },
+    )
+    print(f"trace: {len(observability.bus.events)} events -> {trace_path}")
+
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        default="chaos_cluster.trace.jsonl",
+        help="where to write the repro.obs.trace JSONL file",
+    )
+    asyncio.run(main(parser.parse_args().trace))

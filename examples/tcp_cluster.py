@@ -4,20 +4,30 @@ The exact same node code that powers the simulator experiments runs here
 over asyncio TCP — four nodes, four listening ports, real bytes on real
 sockets — and keeps the same guarantees.
 
+The full protocol event trace is recorded through the unified
+observability bus and written as a ``repro.obs.trace`` v1 JSONL file,
+ready for ``python -m repro.obs summarize/waves/diff``.
+
 Usage::
 
-    python examples/tcp_cluster.py
+    python examples/tcp_cluster.py [--trace PATH]
 """
 
+import argparse
 import asyncio
 
 from repro import SystemConfig
+from repro.obs.context import Observability
+from repro.obs.export import dump_trace
 from repro.runtime.cluster import LocalCluster
 
 
-async def main() -> None:
+async def main(trace_path: str) -> None:
     config = SystemConfig(n=4, seed=11)
-    cluster = LocalCluster(config, base_port=9500, coin_mode="threshold")
+    observability = Observability()
+    cluster = LocalCluster(
+        config, base_port=9500, coin_mode="threshold", observability=observability
+    )
 
     reached = await cluster.run_until(
         lambda: cluster.nodes
@@ -44,6 +54,20 @@ async def main() -> None:
     )
     print("total order across all four nodes: OK")
 
+    dump_trace(
+        trace_path,
+        observability.bus.events,
+        meta={"example": "tcp_cluster", "n": config.n, "seed": config.seed},
+        metrics={"registry": observability.snapshot(), "links": report},
+    )
+    print(f"trace: {len(observability.bus.events)} events -> {trace_path}")
+
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        default="tcp_cluster.trace.jsonl",
+        help="where to write the repro.obs.trace JSONL file",
+    )
+    asyncio.run(main(parser.parse_args().trace))

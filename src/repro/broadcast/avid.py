@@ -38,7 +38,7 @@ from repro.sim.wire import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AvidMessage(Message):
     """One AVID step: kind in {VAL, ECHO, READY}; carries one fragment."""
 
@@ -68,7 +68,11 @@ class AvidMessage(Message):
 
 
 class _Slot:
-    """Per-(source, round) dispersal state at one process."""
+    """Per-(source, round) dispersal state at one process.
+
+    Ready votes are int bitmasks (bit ``src`` set); reconstructed payloads
+    live in the endpoint's (possibly deployment-shared) cache, not here.
+    """
 
     __slots__ = (
         "my_fragment",
@@ -77,7 +81,6 @@ class _Slot:
         "echo_fragments",
         "ready_votes",
         "ready_fragments",
-        "reconstructed",
         "dead_roots",
     )
 
@@ -87,10 +90,66 @@ class _Slot:
         self.readied = False
         # root -> {fragment_index: fragment bytes}
         self.echo_fragments: dict[bytes, dict[int, bytes]] = {}
-        self.ready_votes: dict[bytes, set[int]] = {}
+        self.ready_votes: dict[bytes, int] = {}
         self.ready_fragments: dict[bytes, dict[int, bytes]] = {}
-        self.reconstructed: dict[bytes, bytes] = {}
         self.dead_roots: set[bytes] = set()
+
+
+class SharedReconstructionCache:
+    """Deployment-wide cache of *successfully verified* reconstructions.
+
+    AVID's verifiability property makes sharing sound: a reconstruction is
+    cached only after the re-encode-and-check-the-root step succeeded, which
+    proves the dispersal's encoding is consistent — so *any* ``k`` proof-
+    verified fragments for that root decode to the same bytes, and every
+    endpoint that has locally met its ``k``-fragment threshold may reuse the
+    result instead of redoing the O(|m|·n) decode+re-encode. Failed
+    reconstructions are never shared (which fragments expose an inconsistent
+    encoding differs per endpoint; those stay in per-slot ``dead_roots``).
+
+    Entries are evicted once ``n`` endpoints delivered the root (each calls
+    :meth:`release` on delivery), so a sweep's peak memory stays bounded by
+    in-flight dispersals rather than run length. An endpoint that crashes
+    before delivering leaks its refcount — acceptable for bench runs, where
+    recovering nodes eventually deliver.
+    """
+
+    __slots__ = ("_data", "_payloads", "_releases", "_n")
+
+    def __init__(self, n: int) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self._payloads: dict[bytes, Payload] = {}
+        self._releases: dict[bytes, int] = {}
+        self._n = n
+
+    def get(self, root: bytes) -> bytes | None:
+        return self._data.get(root)
+
+    def put(self, root: bytes, data: bytes) -> None:
+        self._data[root] = data
+
+    def get_payload(self, root: bytes) -> Payload | None:
+        """Decoded payload for ``root``, if some endpoint already decoded it.
+
+        Sharing the decoded object matches the full-payload broadcasts'
+        semantics exactly: Bracha and gossip hand every receiver the *same*
+        payload object (it rides in the message); only AVID reconstructs
+        from bytes, and decoding is a pure function of those bytes.
+        """
+        entry = self._payloads.get(root)
+        return entry
+
+    def put_payload(self, root: bytes, payload: Payload) -> None:
+        self._payloads[root] = payload
+
+    def release(self, root: bytes) -> None:
+        count = self._releases.get(root, 0) + 1
+        if count >= self._n:
+            self._data.pop(root, None)
+            self._payloads.pop(root, None)
+            self._releases.pop(root, None)
+        else:
+            self._releases[root] = count
 
 
 class AvidBroadcast(ReliableBroadcast):
@@ -99,13 +158,30 @@ class AvidBroadcast(ReliableBroadcast):
     Args (beyond the base class):
         decode_payload: Turns reconstructed bytes back into a
             :class:`Payload`; the DAG layer passes the vertex codec.
+        reconstruction_cache: Optional :class:`SharedReconstructionCache`
+            shared across a deployment's endpoints (the harness injects one
+            per simulation), collapsing the grid's n² reconstructions per
+            dispersal to ~1. Defaults to a private single-release cache,
+            which reproduces the old per-slot lifecycle exactly.
     """
 
-    def __init__(self, *args, decode_payload: Callable[[bytes], Payload], **kwargs):
+    def __init__(
+        self,
+        *args,
+        decode_payload: Callable[[bytes], Payload],
+        reconstruction_cache: SharedReconstructionCache | None = None,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
         self._decode_payload = decode_payload
         self._slots: dict[tuple[int, int], _Slot] = {}
         self._k = self.config.small_quorum  # f + 1 reconstruction threshold
+        self._quorum = self.config.quorum  # cached: computed property, hot path
+        if reconstruction_cache is None:
+            # Unshared: evict after our own delivery, like the old
+            # pop-the-slot-on-delivery lifecycle.
+            reconstruction_cache = SharedReconstructionCache(1)
+        self._reconstructions = reconstruction_cache
 
     def r_bcast(self, payload: Payload, round_: int) -> None:
         data = payload.to_bytes()
@@ -127,14 +203,22 @@ class AvidBroadcast(ReliableBroadcast):
             )
 
     def handle(self, src: int, message: Message) -> bool:
-        if not isinstance(message, AvidMessage):
+        # Exact-type test first (hot case); isinstance fallback for subclasses.
+        if type(message) is not AvidMessage and not isinstance(message, AvidMessage):
             return False
         slot_key = (message.source, message.round)
         if slot_key in self._delivered_slots:
             return True
-        if not self._verify(message):
+        # Cache-hit fast path inlined: all but the first receiving endpoint
+        # find the memoized verdict on the shared message object.
+        verified = getattr(message, "_verify_cache", None)
+        if verified is None:
+            verified = self._verify(message)
+        if not verified:
             return True  # forged fragment; drop
-        slot = self._slots.setdefault(slot_key, _Slot())
+        slot = self._slots.get(slot_key)
+        if slot is None:  # avoid a throwaway _Slot() per message (setdefault)
+            slot = self._slots[slot_key] = _Slot()
         if message.kind == "VAL":
             self._on_val(src, message, slot)
         elif message.kind == "ECHO":
@@ -144,13 +228,22 @@ class AvidBroadcast(ReliableBroadcast):
         return True
 
     def _verify(self, message: AvidMessage) -> bool:
-        return verify_proof(
+        # Broadcasts hand the *same* message object to every peer, and the
+        # proof check is a pure function of the message's own fields, so the
+        # verdict is memoized on the object — one Merkle walk per message
+        # instead of one per receiving endpoint.
+        cached = getattr(message, "_verify_cache", None)
+        if cached is not None:
+            return cached
+        ok = verify_proof(
             message.root,
             message.fragment,
             message.fragment_index,
             list(message.proof),
             self.config.n,
         )
+        object.__setattr__(message, "_verify_cache", ok)
+        return ok
 
     def _on_val(self, src: int, msg: AvidMessage, slot: _Slot) -> None:
         if src != msg.source or msg.fragment_index != self.pid or slot.echoed:
@@ -173,9 +266,11 @@ class AvidBroadcast(ReliableBroadcast):
     def _on_echo(self, src: int, msg: AvidMessage, slot: _Slot) -> None:
         if msg.fragment_index != src:
             return  # each process may only echo its own fragment
-        fragments = slot.echo_fragments.setdefault(msg.root, {})
+        fragments = slot.echo_fragments.get(msg.root)
+        if fragments is None:
+            fragments = slot.echo_fragments[msg.root] = {}
         fragments[msg.fragment_index] = msg.fragment
-        if len(fragments) >= self.config.quorum and not slot.readied:
+        if len(fragments) >= self._quorum and not slot.readied:
             payload_bytes = self._reconstruct(msg, fragments, slot)
             if payload_bytes is None:
                 return
@@ -186,12 +281,16 @@ class AvidBroadcast(ReliableBroadcast):
     def _on_ready(self, src: int, msg: AvidMessage, slot: _Slot) -> None:
         if msg.fragment_index != src:
             return
-        votes = slot.ready_votes.setdefault(msg.root, set())
-        if src in votes:
+        mask = slot.ready_votes.get(msg.root, 0)
+        bit = 1 << src
+        if mask & bit:
             return
-        votes.add(src)
-        slot.ready_fragments.setdefault(msg.root, {})[msg.fragment_index] = msg.fragment
-        if len(votes) >= self.config.small_quorum and not slot.readied:
+        slot.ready_votes[msg.root] = mask | bit
+        fragments = slot.ready_fragments.get(msg.root)
+        if fragments is None:
+            fragments = slot.ready_fragments[msg.root] = {}
+        fragments[msg.fragment_index] = msg.fragment
+        if (mask | bit).bit_count() >= self._k and not slot.readied:
             slot.readied = True
             self._send_ready(msg, slot)
         self._maybe_deliver(msg, slot)
@@ -217,14 +316,19 @@ class AvidBroadcast(ReliableBroadcast):
     def _reconstruct(
         self, msg: AvidMessage, fragments: dict[int, bytes], slot: _Slot
     ) -> bytes | None:
-        """Decode and *verify* the dispersal; poison the root on mismatch."""
+        """Decode and *verify* the dispersal; poison the root on mismatch.
+
+        The local ``k``-fragment threshold is checked before consulting the
+        shared cache, so a cache hit never changes *when* an endpoint can
+        reconstruct — only how much work the reconstruction costs.
+        """
         if msg.root in slot.dead_roots:
             return None
-        cached = slot.reconstructed.get(msg.root)
-        if cached is not None:
-            return cached
         if len(fragments) < self._k:
             return None
+        cached = self._reconstructions.get(msg.root)
+        if cached is not None:
+            return cached
         data = rs_decode(dict(fragments), self._k, msg.data_len)
         # Verifiability: re-encode and check the Merkle root, so an
         # inconsistent Byzantine encoding is rejected by everyone alike.
@@ -232,12 +336,12 @@ class AvidBroadcast(ReliableBroadcast):
         if MerkleTree(reencoded).root != msg.root:
             slot.dead_roots.add(msg.root)
             return None
-        slot.reconstructed[msg.root] = data
+        self._reconstructions.put(msg.root, data)
         return data
 
     def _maybe_deliver(self, msg: AvidMessage, slot: _Slot) -> None:
-        votes = slot.ready_votes.get(msg.root, set())
-        if len(votes) < self.config.quorum:
+        mask = slot.ready_votes.get(msg.root, 0)
+        if mask.bit_count() < self._quorum:
             return
         # Try to reconstruct from ready fragments if echoes were missed.
         sources = dict(slot.echo_fragments.get(msg.root, {}))
@@ -245,5 +349,10 @@ class AvidBroadcast(ReliableBroadcast):
         data = self._reconstruct(msg, sources, slot)
         if data is None:
             return
+        payload = self._reconstructions.get_payload(msg.root)
+        if payload is None:
+            payload = self._decode_payload(data)
+            self._reconstructions.put_payload(msg.root, payload)
         self._slots.pop((msg.source, msg.round), None)
-        self._deliver(self._decode_payload(data), msg.round, msg.source)
+        self._reconstructions.release(msg.root)
+        self._deliver(payload, msg.round, msg.source)

@@ -35,7 +35,7 @@ from repro.sim.wire import BITS_PER_ROUND, BITS_PER_TAG, Message, bits_for_proce
 _CHANNELS = ("echo", "ready")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipSubscribe(Message):
     """Ask the recipient to feed us its future messages on ``channel``."""
 
@@ -48,7 +48,7 @@ class GossipSubscribe(Message):
         return f"gossip.subscribe.{self.channel}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipMessage(Message):
     """A phase message: kind in {GOSSIP, ECHO, READY}, payload attached."""
 
@@ -70,18 +70,24 @@ class GossipMessage(Message):
 
 
 class _Slot:
-    """Per-(source, round) state."""
+    """Per-(source, round) state.
 
-    __slots__ = ("payload", "gossiped", "echoed", "readied", "echo_votes", "ready_votes", "delivery_votes")
+    Vote sets are int bitmasks keyed by digest; the phase flags must live
+    for the whole run (a late GOSSIP for an old slot must not re-forward),
+    but votes are reclaimed eagerly — echo/ready votes once the slot
+    readied, delivery votes once it delivered — since they only ever feed
+    those transitions.
+    """
+
+    __slots__ = ("gossiped", "echoed", "readied", "echo_votes", "ready_votes", "delivery_votes")
 
     def __init__(self) -> None:
-        self.payload: Payload | None = None
         self.gossiped = False
         self.echoed = False
         self.readied = False
-        self.echo_votes: dict[bytes, set[int]] = {}
-        self.ready_votes: dict[bytes, set[int]] = {}
-        self.delivery_votes: dict[bytes, set[int]] = {}
+        self.echo_votes: dict[bytes, int] = {}
+        self.ready_votes: dict[bytes, int] = {}
+        self.delivery_votes: dict[bytes, int] = {}
 
 
 class GossipBroadcast(ReliableBroadcast):
@@ -108,6 +114,12 @@ class GossipBroadcast(ReliableBroadcast):
         self._echo_ratio = echo_ratio
         self._ready_ratio = ready_ratio
         self._delivery_ratio = delivery_ratio
+        # Thresholds are pure functions of the fixed sample size; computed
+        # once instead of per message.
+        size = self._sample_size
+        self._echo_threshold = max(1, math.ceil(echo_ratio * size))
+        self._ready_threshold = max(1, math.ceil(ready_ratio * size))
+        self._delivery_threshold = max(1, math.ceil(delivery_ratio * size))
 
         rng = derive_rng(self.config.seed, "gossip-samples", self.pid)
         population = list(self.config.processes)
@@ -137,14 +149,17 @@ class GossipBroadcast(ReliableBroadcast):
         self._on_gossip(self.pid, message)
 
     def handle(self, src: int, message: Message) -> bool:
-        if isinstance(message, GossipSubscribe):
+        # Exact-type tests first (hot case); isinstance fallbacks for
+        # subclasses.
+        tp = type(message)
+        if tp is GossipSubscribe or isinstance(message, GossipSubscribe):
             self._ensure_subscriptions()
             if message.channel in self._subscribers:
                 self._subscribers[message.channel].add(src)
                 for past in self._sent_log[message.channel]:
                     self._send(src, past)
             return True
-        if not isinstance(message, GossipMessage):
+        if tp is not GossipMessage and not isinstance(message, GossipMessage):
             return False
         self._ensure_subscriptions()
         if message.kind == "GOSSIP":
@@ -161,14 +176,17 @@ class GossipBroadcast(ReliableBroadcast):
             self._send(subscriber, message)
 
     def _slot(self, message: GossipMessage) -> _Slot:
-        return self._slots.setdefault((message.source, message.round), _Slot())
+        key = (message.source, message.round)
+        slot = self._slots.get(key)
+        if slot is None:  # avoid a throwaway _Slot() per message
+            slot = self._slots[key] = _Slot()
+        return slot
 
     def _on_gossip(self, src: int, message: GossipMessage) -> None:
         slot = self._slot(message)
         if slot.gossiped:
             return
         slot.gossiped = True
-        slot.payload = message.payload
         for peer in self._gossip_sample:
             if peer != self.pid:
                 self._send(peer, message)
@@ -183,11 +201,15 @@ class GossipBroadcast(ReliableBroadcast):
         if src not in self._echo_sample:
             return
         slot = self._slot(message)
-        voters = slot.echo_votes.setdefault(message.payload.digest, set())
-        voters.add(src)
-        threshold = max(1, math.ceil(self._echo_ratio * self._sample_size))
-        if len(voters) >= threshold and not slot.readied:
+        if slot.readied:
+            return  # echo votes only feed the ready transition
+        digest = message.payload.digest
+        mask = slot.echo_votes.get(digest, 0) | (1 << src)
+        slot.echo_votes[digest] = mask
+        if mask.bit_count() >= self._echo_threshold:
             slot.readied = True
+            slot.echo_votes = {}
+            slot.ready_votes = {}
             self._publish(
                 "ready",
                 GossipMessage("READY", message.source, message.round, message.payload),
@@ -196,21 +218,25 @@ class GossipBroadcast(ReliableBroadcast):
     def _on_ready(self, src: int, message: GossipMessage) -> None:
         slot = self._slot(message)
         digest = message.payload.digest
-        if src in self._ready_sample:
-            voters = slot.ready_votes.setdefault(digest, set())
-            voters.add(src)
-            threshold = max(1, math.ceil(self._ready_ratio * self._sample_size))
-            if len(voters) >= threshold and not slot.readied:
+        if src in self._ready_sample and not slot.readied:
+            mask = slot.ready_votes.get(digest, 0) | (1 << src)
+            slot.ready_votes[digest] = mask
+            if mask.bit_count() >= self._ready_threshold:
                 slot.readied = True
+                slot.echo_votes = {}
+                slot.ready_votes = {}
                 self._publish(
                     "ready",
                     GossipMessage(
                         "READY", message.source, message.round, message.payload
                     ),
                 )
-        if src in self._delivery_sample:
-            voters = slot.delivery_votes.setdefault(digest, set())
-            voters.add(src)
-            threshold = max(1, math.ceil(self._delivery_ratio * self._sample_size))
-            if len(voters) >= threshold:
+        if (
+            src in self._delivery_sample
+            and (message.source, message.round) not in self._delivered_slots
+        ):
+            mask = slot.delivery_votes.get(digest, 0) | (1 << src)
+            slot.delivery_votes[digest] = mask
+            if mask.bit_count() >= self._delivery_threshold:
+                slot.delivery_votes = {}
                 self._deliver(message.payload, message.round, message.source)

@@ -50,7 +50,7 @@ class SystemConfig:
             )
         byz = frozenset(self.byzantine)
         object.__setattr__(self, "byzantine", byz)
-        if any(not 0 <= p < self.n for p in byz):
+        if byz and not (0 <= min(byz) and max(byz) < self.n):
             raise ConfigurationError(f"byzantine ids {sorted(byz)} out of range")
         if len(byz) > self.f:
             raise ConfigurationError(

@@ -171,6 +171,15 @@ class DagRiderNode(Process):
         self.rbc.attach_obs(self.obs)
         self.builder.attach_broadcast(self.rbc)
 
+        # Resolved once here, not per message in on_message: repro.codec's
+        # registry pulls in the baselines package, which imports this module
+        # (an import cycle at module-load time only — it is settled by the
+        # time a node is constructed).
+        from repro.codec.frames import CatchupRequest, CatchupVertices
+
+        self._catchup_request_cls = CatchupRequest
+        self._catchup_vertices_cls = CatchupVertices
+
         from repro.core.ordering import DagRiderOrdering  # cycle-free import
 
         self.ordering = DagRiderOrdering(
@@ -204,21 +213,20 @@ class DagRiderNode(Process):
         self.builder.start()
 
     def on_message(self, src: int, message: Message) -> None:
+        # Hot path: almost every message belongs to the broadcast layer, so
+        # try it first — its handle() rejects foreign types with one type
+        # check — and only fall through to the rare control messages.
+        if self.rbc.handle(src, message):
+            return
         if isinstance(message, CoinShareMessage):
             if isinstance(self.coin, ThresholdCoin):
                 self.coin.on_message(src, message)
             return
-        # Imported here, not at module top: repro.codec's registry pulls in
-        # the baselines package, which imports this module (import cycle).
-        from repro.codec.frames import CatchupRequest, CatchupVertices
-
-        if isinstance(message, CatchupRequest):
+        if isinstance(message, self._catchup_request_cls):
             self._serve_catchup(src, message)
             return
-        if isinstance(message, CatchupVertices):
+        if isinstance(message, self._catchup_vertices_cls):
             self._apply_catchup(src, message)
-            return
-        self.rbc.handle(src, message)
 
     def _emit(self, kind: str, **fields) -> None:
         """Record one protocol event on both observability paths.

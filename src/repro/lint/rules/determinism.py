@@ -105,6 +105,13 @@ class WallClockRule(Rule):
         self.generic_visit(node)
 
 
+#: Augmented assignments that keep a set a set (in-place set algebra).
+_SET_AUG_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Nodes that open a new name scope; local dataflow stops at their border.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
 def _is_set_expr(node: ast.expr, imports: dict[str, str]) -> bool:
     """True for expressions that statically construct a set/frozenset."""
     if isinstance(node, (ast.Set, ast.SetComp)):
@@ -119,20 +126,104 @@ def _is_set_expr(node: ast.expr, imports: dict[str, str]) -> bool:
     return False
 
 
+def _set_typed_locals(
+    scope: ast.FunctionDef | ast.AsyncFunctionDef, imports: dict[str, str]
+) -> frozenset[str]:
+    """Locals of ``scope`` whose every binding is statically a set expression.
+
+    One function deep of dataflow: plain-name assignments are collected from
+    the function's own body (nested scopes have their own locals and are not
+    descended into), and a name qualifies only when *all* its bindings are
+    set expressions per :func:`_is_set_expr`. Any other way of binding the
+    name — parameter, import, ``for`` target, ``with ... as``, ``except
+    ... as``, unpacking, ``global``/``nonlocal``, ``del`` — disqualifies it,
+    as does augmented assignment outside the in-place set algebra operators
+    (``|= &= -= ^=``), which preserve set-ness.
+    """
+    bindings: dict[str, list[ast.expr]] = {}
+    disqualified: set[str] = set()
+    for arg in ast.walk(scope.args):
+        if isinstance(arg, ast.arg):
+            disqualified.add(arg.arg)
+
+    def bind(target: ast.expr, value: ast.expr | None) -> None:
+        # value=None means "bound to something we cannot type statically".
+        if isinstance(target, ast.Name):
+            if value is None:
+                disqualified.add(target.id)
+            else:
+                bindings.setdefault(target.id, []).append(value)
+        elif isinstance(target, ast.Starred):
+            bind(target.value, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind(element, None)
+
+    def scan(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue  # separate scope; its assignments are not our locals
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    bind(target, child.value)
+            elif isinstance(child, ast.AnnAssign):
+                bind(child.target, child.value)
+            elif isinstance(child, ast.AugAssign):
+                if isinstance(child.target, ast.Name) and not isinstance(
+                    child.op, _SET_AUG_OPS
+                ):
+                    disqualified.add(child.target.id)
+            elif isinstance(child, ast.NamedExpr):
+                bind(child.target, child.value)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                bind(child.target, None)
+            elif isinstance(child, ast.withitem):
+                if child.optional_vars is not None:
+                    bind(child.optional_vars, None)
+            elif isinstance(child, ast.ExceptHandler):
+                if child.name is not None:
+                    disqualified.add(child.name)
+            elif isinstance(child, (ast.Global, ast.Nonlocal)):
+                disqualified.update(child.names)
+            elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                for alias in child.names:
+                    disqualified.add((alias.asname or alias.name).split(".", 1)[0])
+            elif isinstance(child, ast.Delete):
+                for target in child.targets:
+                    bind(target, None)
+            elif isinstance(child, (ast.MatchAs, ast.MatchStar, ast.MatchMapping)):
+                name = getattr(child, "name", None) or getattr(child, "rest", None)
+                if name is not None:
+                    disqualified.add(name)
+            scan(child)
+
+    scan(scope)
+    return frozenset(
+        name
+        for name, values in bindings.items()
+        if name not in disqualified
+        and all(_is_set_expr(value, imports) for value in values)
+    )
+
+
 @register
 class SetOrderEscapeRule(Rule):
     """DET003: set iteration order escaping without a ``sorted()`` wrapper.
 
-    Detected escapes (heuristic, expression-level — a set bound to a name
-    first is out of static reach, see docs/static-analysis.md):
+    Detected escapes (heuristic — see docs/static-analysis.md):
 
     * ``for x in {…} / set(…) / frozenset(…)`` and comprehension iterables;
     * ``list(set(…))``, ``tuple(…)``, ``enumerate(…)``, ``iter(…)``;
-    * ``sep.join(set(…))``.
+    * ``sep.join(set(…))``;
+    * the same escapes through a *set-typed local*: a function-local name
+      whose every assignment is statically a set expression
+      (:func:`_set_typed_locals`), so ``s = set(…); for x in s`` is caught
+      one binding away, not just at the literal site.
 
     ``sorted(set(…))`` (or any wrapping call that imposes an order) is the
     fix and is never flagged: the set expression is then an *argument* of
-    ``sorted``, not the escaping iterable itself.
+    ``sorted``, not the escaping iterable itself. Membership tests and
+    ``len()`` never iterate, so set-typed locals used that way stay clean.
     """
 
     code = "DET003"
@@ -142,12 +233,40 @@ class SetOrderEscapeRule(Rule):
     )
     packages = None
 
+    def __init__(self, context) -> None:
+        super().__init__(context)
+        # Innermost-function frames of set-typed local names; locals of
+        # enclosing functions are deliberately not consulted (closure
+        # variables are beyond one-function-deep dataflow).
+        self._frames: list[frozenset[str]] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def _visit_scope(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._frames.append(_set_typed_locals(node, self.context.imports))
+        self.generic_visit(node)
+        self._frames.pop()
+
     def _check_iterable(self, iterable: ast.expr, what: str) -> None:
         if _is_set_expr(iterable, self.context.imports):
             self.report(
                 iterable,
                 f"{what} iterates a set in hash order; wrap it in sorted() "
                 "so the order is deterministic",
+            )
+        elif (
+            isinstance(iterable, ast.Name)
+            and self._frames
+            and iterable.id in self._frames[-1]
+        ):
+            self.report(
+                iterable,
+                f"{what} iterates set-typed local `{iterable.id}` in hash "
+                "order; wrap it in sorted() so the order is deterministic",
             )
 
     def visit_For(self, node: ast.For) -> None:

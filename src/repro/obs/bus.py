@@ -49,7 +49,13 @@ class EventBus:
 
     def emit(self, pid: int, kind: str, **fields: Scalar) -> Event:
         """Append one event stamped with the bound clock's current time."""
-        return self.emit_at(self._clock(), pid, kind, **fields)
+        # Inlined emit_at: this runs per protocol event, and delegating
+        # would repack ``fields`` into kwargs a second time.
+        event = Event(self._clock(), pid, kind, make_fields(fields))
+        self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
 
     def emit_at(self, time: float, pid: int, kind: str, **fields: Scalar) -> Event:
         """Append one event with an explicit time stamp."""

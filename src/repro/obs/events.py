@@ -26,19 +26,19 @@ _SCALAR_TYPES = (int, float, str, bool, type(None))
 
 def make_fields(fields: Mapping[str, object]) -> tuple[tuple[str, Scalar], ...]:
     """Normalize a kwargs mapping into the sorted, validated tuple form."""
-    items: list[tuple[str, Scalar]] = []
-    for key in sorted(fields):
-        value = fields[key]
+    # Sorting the item pairs directly never compares values: kwargs keys
+    # are unique, so tuple comparison is decided by the keys alone.
+    items = sorted(fields.items())
+    for key, value in items:
         if not isinstance(value, _SCALAR_TYPES):
             raise TypeError(
                 f"event field {key!r} has non-scalar value of type "
                 f"{type(value).__name__}; emit a stable identifier instead"
             )
-        items.append((key, value))
     return tuple(items)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One observation: ``(time, pid, kind)`` plus sorted scalar fields."""
 

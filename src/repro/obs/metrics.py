@@ -94,6 +94,23 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def record_many(self, values: list) -> None:
+        """Count observations in order; same totals as repeated :meth:`record`."""
+        counts = self.counts
+        bounds = self.bounds
+        total = self.total
+        low, high = self.min, self.max
+        for value in values:
+            counts[bisect_left(bounds, value)] += 1
+            total += value
+            if low is None or value < low:
+                low = value
+            if high is None or value > high:
+                high = value
+        self.count += len(values)
+        self.total = total
+        self.min, self.max = low, high
+
     @property
     def mean(self) -> float:
         """Average observation (0 when empty)."""

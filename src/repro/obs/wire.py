@@ -48,12 +48,46 @@ class MetricsCollector:
             self.bits_by_process[src] += bits
             self.bits_by_tag[tag] += bits
 
+    def record_sends(
+        self, src: int, bits: int, tag: str, src_correct: bool, count: int
+    ) -> None:
+        """Record ``count`` identical messages leaving ``src`` in one call.
+
+        Exact integer arithmetic, so the totals are identical to ``count``
+        :meth:`record_send` calls — this is the broadcast fast path (one
+        bookkeeping pass per fan-out instead of one per destination).
+        """
+        self.messages_total += count
+        self.total_bits += bits * count
+        self.messages_by_tag[tag] += count
+        if src_correct:
+            self.correct_bits_total += bits * count
+            self.bits_by_process[src] += bits * count
+            self.bits_by_tag[tag] += bits * count
+
     def record_delay(self, delay: float, correct_pair: bool) -> None:
         """Record a message delay; only correct-to-correct delays define the time unit."""
         if correct_pair:
             self.max_correct_delay = max(self.max_correct_delay, delay)
             self.delays_recorded += 1
             self._delay_sum += delay
+
+    def record_delays(self, delays: list) -> None:
+        """Record correct-pair delays in order, one call per fan-out.
+
+        The float sum accumulates element by element exactly as repeated
+        :meth:`record_delay` calls would, so the mean stays bit-identical
+        whichever path recorded a broadcast's delays.
+        """
+        total = self._delay_sum
+        peak = self.max_correct_delay
+        for delay in delays:
+            if delay > peak:
+                peak = delay
+            total += delay
+        self.max_correct_delay = peak
+        self.delays_recorded += len(delays)
+        self._delay_sum = total
 
     @property
     def mean_correct_delay(self) -> float:

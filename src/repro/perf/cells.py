@@ -29,6 +29,10 @@ class BenchCell:
         wave_target: Run until every correct node decided this wave.
         max_events: Event budget; the run fails if the target is not
             reached within it.
+        fault: Optional fault injected by the runner; ``"crash_restart"``
+            runs one process as a :class:`repro.core.faulty.RecoveringNode`
+            (the sim-side analogue of the runtime's ChaosTransport
+            ``crash_restart`` fault).
     """
 
     name: str
@@ -39,6 +43,7 @@ class BenchCell:
     tx_bytes: int = 64
     wave_target: int = 3
     max_events: int = 4_000_000
+    fault: str | None = None
 
     def params(self) -> dict[str, object]:
         """The cell as a plain JSON-ready dict (includes the seed)."""
@@ -50,8 +55,10 @@ def batch_nlogn(n: int) -> int:
     return max(1, round(n * math.log2(n)))
 
 
-def _cell(base_seed: int, n: int, broadcast: str, batch_size: int, **kw) -> BenchCell:
-    name = f"{broadcast}-n{n}-b{batch_size}"
+def _cell(
+    base_seed: int, n: int, broadcast: str, batch_size: int, suffix: str = "", **kw
+) -> BenchCell:
+    name = f"{broadcast}-n{n}-b{batch_size}{suffix}"
     return BenchCell(
         name=name,
         n=n,
@@ -77,6 +84,45 @@ def table1_cells(base_seed: int = 1) -> list[BenchCell]:
     return cells
 
 
+def table1_large_cells(base_seed: int = 1) -> list[BenchCell]:
+    """The scaled grid: n=25/50/100 rows plus crash-recovery cells.
+
+    Wave targets shrink and event budgets grow with ``n`` — a single wave
+    at n=100 is millions of delivery events — so every cell stays
+    completable on CI-class hardware while still exercising the committee
+    sizes the successor papers evaluate (Bullshark's ~50, arXiv
+    2209.05633). The ``-crash`` cells run process 1 as a
+    :class:`repro.core.faulty.RecoveringNode` (down for 30 simulated time
+    units from round 3), measuring the recovery path's cost on the same
+    deterministic footing.
+    """
+    budgets = {
+        25: dict(wave_target=2, max_events=2_000_000),
+        50: dict(wave_target=1, max_events=6_000_000),
+        100: dict(wave_target=1, max_events=25_000_000),
+    }
+    cells = []
+    for n, budget in budgets.items():
+        cells.append(_cell(base_seed, n, "bracha", n, **budget))
+        cells.append(_cell(base_seed, n, "gossip", n, **budget))
+        cells.append(_cell(base_seed, n, "avid", batch_nlogn(n), **budget))
+    for n in (13, 25):
+        budget = budgets.get(n, dict(wave_target=2, max_events=2_000_000))
+        cells.append(
+            _cell(
+                base_seed, n, "bracha", n, suffix="-crash",
+                fault="crash_restart", **budget,
+            )
+        )
+        cells.append(
+            _cell(
+                base_seed, n, "avid", batch_nlogn(n), suffix="-crash",
+                fault="crash_restart", **budget,
+            )
+        )
+    return cells
+
+
 def smoke_cells(base_seed: int = 1) -> list[BenchCell]:
     """A tiny grid for CI smoke runs and the determinism cross-check."""
     return [
@@ -86,9 +132,16 @@ def smoke_cells(base_seed: int = 1) -> list[BenchCell]:
     ]
 
 
+def all_cells(base_seed: int = 1) -> list[BenchCell]:
+    """Everything the committed ``BENCH_sim.json`` trajectory records."""
+    return table1_cells(base_seed) + table1_large_cells(base_seed)
+
+
 #: Named suites the CLI exposes.
 SUITES = {
     "table1": table1_cells,
+    "table1-large": table1_large_cells,
+    "all": all_cells,
     "smoke": smoke_cells,
 }
 

@@ -14,18 +14,27 @@ The result of a cell is split into three sections on purpose:
   metric-registry snapshot. Deterministic too, but *not* part of the exact
   compare (:func:`repro.perf.sweep.metric_payload` serializes only params
   and metrics), so the breakdowns can grow without invalidating baselines.
+* ``memory`` — peak-memory readings (``ru_maxrss`` always; a ``tracemalloc``
+  peak when ``REPRO_BENCH_TRACEMALLOC=1``, opt-in because tracing slows the
+  run severely and would poison the wall-clock column). Machine-local like
+  timing, and likewise outside the exact compare.
 """
 
 from __future__ import annotations
 
 import cProfile
+import gc
 import io
+import os
 import pstats
+import resource
 import time
+import tracemalloc
 from typing import TYPE_CHECKING
 
 from repro.common.config import SystemConfig
 from repro.common.rng import derive_rng
+from repro.core.faulty import RecoveringNode
 from repro.core.harness import DagRiderDeployment
 from repro.obs.analyze import wave_stats
 from repro.obs.context import Observability
@@ -33,6 +42,13 @@ from repro.sim.adversary import SlowProcessDelay, UniformDelay
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.cells import BenchCell
+
+#: Process slot that runs the fault variant in ``fault="crash_restart"`` cells.
+CRASH_PID = 1
+
+#: Simulated rounds/time the crash cells' recovering node is configured with.
+CRASH_ROUND = 3
+CRASH_DOWNTIME = 30.0
 
 
 class CellFailure(RuntimeError):
@@ -53,12 +69,26 @@ def _build(
         adversary = SlowProcessDelay(
             UniformDelay(derive_rng(cell.seed, "delays")), {pid}, penalty
         )
+    node_factories = None
+    node_kwargs = None
+    if cell.fault == "crash_restart":
+        # The sim-side twin of the runtime's ChaosTransport crash_restart
+        # fault: one process goes down mid-run and rejoins after replaying
+        # the backlog its reliable links held.
+        node_factories = {CRASH_PID: RecoveringNode}
+        node_kwargs = {
+            CRASH_PID: {"crash_round": CRASH_ROUND, "downtime": CRASH_DOWNTIME}
+        }
+    elif cell.fault is not None:
+        raise ValueError(f"unknown cell fault {cell.fault!r}")
     return DagRiderDeployment(
         SystemConfig(n=cell.n, seed=cell.seed),
         adversary=adversary,
         broadcast=cell.broadcast,
         batch_size=cell.batch_size,
         tx_bytes=cell.tx_bytes,
+        node_factories=node_factories,
+        node_kwargs=node_kwargs,
         observability=observability,
     )
 
@@ -99,16 +129,36 @@ def _observability_section(
     }
 
 
+def _memory_section(rss_before_kb: int, traced_peak: int | None) -> dict:
+    """Peak-memory readings; machine-local, outside the exact compare.
+
+    ``max_rss_kb`` is the OS's high-water mark for the whole process — it
+    never decreases, so in a sweep worker that runs several cells it
+    reflects the largest cell so far; ``max_rss_delta_kb`` (growth during
+    this cell) is the per-cell signal. ``tracemalloc_peak_kb`` appears only
+    under ``REPRO_BENCH_TRACEMALLOC=1`` and is exact per cell.
+    """
+    rss_after_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    section = {
+        "max_rss_kb": rss_after_kb,
+        "max_rss_delta_kb": max(0, rss_after_kb - rss_before_kb),
+    }
+    if traced_peak is not None:
+        section["tracemalloc_peak_kb"] = traced_peak // 1024
+    return section
+
+
 def _collect(
     cell: "BenchCell",
     deployment: DagRiderDeployment,
     wall: float,
     observability: Observability,
+    memory: dict | None = None,
 ) -> dict:
     metrics = deployment.metrics
     nodes = deployment.correct_nodes
     events = deployment.scheduler.events_processed
-    return {
+    result = {
         "params": cell.params(),
         "metrics": {
             "events": events,
@@ -127,6 +177,9 @@ def _collect(
         },
         "observability": _observability_section(deployment, observability),
     }
+    if memory is not None:
+        result["memory"] = memory
+    return result
 
 
 def run_cell(cell: "BenchCell") -> dict:
@@ -151,10 +204,31 @@ def run_cell_traced(
     shows which waves paid for the slow process.
     """
     observability = Observability()
-    start = time.perf_counter()
-    deployment = _build(cell, observability=observability, slow=slow)
-    reached = deployment.run_until_wave(cell.wave_target, max_events=cell.max_events)
-    wall = time.perf_counter() - start
+    rss_before_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    trace_allocs = os.environ.get("REPRO_BENCH_TRACEMALLOC") == "1"
+    if trace_allocs:
+        tracemalloc.start()
+    # Pause the cyclic collector for the measured region: the sim allocates
+    # heavily but reference-cycle-free, and collector passes both cost wall
+    # time and make it noisy. Simulation state is released by refcounting
+    # as usual; deterministic metrics are unaffected either way.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        deployment = _build(cell, observability=observability, slow=slow)
+        reached = deployment.run_until_wave(
+            cell.wave_target, max_events=cell.max_events
+        )
+        wall = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    traced_peak = None
+    if trace_allocs:
+        _, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    memory = _memory_section(rss_before_kb, traced_peak)
     if not reached:
         raise CellFailure(
             f"cell {cell.name} missed wave {cell.wave_target} "
@@ -162,7 +236,7 @@ def run_cell_traced(
         )
     deployment.check_total_order()
     deployment.check_integrity()
-    return _collect(cell, deployment, wall, observability), observability
+    return _collect(cell, deployment, wall, observability, memory), observability
 
 
 def run_cell_profiled(cell: "BenchCell", top: int = 30) -> tuple[dict, str]:

@@ -22,7 +22,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Bump on any change to the document layout or metric definitions.
 #: v2: cells carry an ``observability`` section (per-wave commit latency,
 #: control-overhead breakdown, registry snapshot) next to metrics/timing.
-SCHEMA_VERSION = 2
+#: v3: cells carry a ``memory`` section (maxrss high-water mark and delta,
+#: optional tracemalloc peak) next to timing; cell params gained ``fault``.
+SCHEMA_VERSION = 3
 
 
 def run_sweep(
@@ -102,16 +104,18 @@ def render_summary(document: dict) -> str:
     """A terminal table of the document: one line per cell plus totals."""
     lines = [
         f"{'cell':<22}{'events':>10}{'wall_s':>9}{'ev/s':>12}"
-        f"{'Mbits':>10}{'commits':>9}{'txs':>8}"
+        f"{'Mbits':>10}{'commits':>9}{'txs':>8}{'rss_MB':>9}"
     ]
     lines.append("-" * len(lines[0]))
     for name, cell in document["cells"].items():
         metrics, timing = cell["metrics"], cell["timing"]
+        rss_kb = cell.get("memory", {}).get("max_rss_kb")
+        rss = f"{rss_kb / 1024:>9.0f}" if rss_kb is not None else f"{'-':>9}"
         lines.append(
             f"{name:<22}{metrics['events']:>10,}{timing['wall_clock_s']:>9.2f}"
             f"{timing['events_per_sec']:>12,.0f}"
             f"{metrics['total_bits'] / 1e6:>10.1f}"
-            f"{metrics['commits']:>9}{metrics['transactions']:>8}"
+            f"{metrics['commits']:>9}{metrics['transactions']:>8}{rss}"
         )
     totals = document["totals"]
     lines.append(

@@ -13,6 +13,15 @@ callers need not allocate a closure per event), and cancellation is O(1) by
 nulling the entry's callback through a handle->entry map — which also makes
 :meth:`cancel` idempotent against handles that already fired and keeps
 :attr:`pending` exact.
+
+Batched fan-outs: a caller that knows a whole schedule of future events up
+front (e.g. the network broadcasting one message to ``n`` destinations) can
+:meth:`reserve_handles` for all of them and keep only *one* heap entry live
+at a time, re-arming it with :meth:`call_at_reserved` as each step fires.
+Because entries are ordered by ``(time, handle)`` and reserved handles are
+allocated exactly where per-event scheduling would have allocated them, the
+execution order is bit-identical to scheduling every event individually —
+while the heap holds one entry per fan-out instead of one per message.
 """
 
 from __future__ import annotations
@@ -85,6 +94,38 @@ class Scheduler:
             raise ValueError(f"negative delay: {delay}")
         return self.call_at(self._now + delay, callback, *args)
 
+    def reserve_handles(self, count: int) -> int:
+        """Allocate ``count`` consecutive handles without queueing anything.
+
+        Returns the first handle of the block. Pair with
+        :meth:`call_at_reserved`: a fan-out reserves one handle per future
+        delivery at send time (fixing each delivery's position in the
+        ``(time, handle)`` total order) but arms only the earliest one.
+        """
+        if count < 0:
+            raise ValueError(f"negative handle count: {count}")
+        handle = self._next_handle
+        self._next_handle = handle + count
+        return handle
+
+    def call_at_reserved(
+        self, when: float, handle: int, callback: Callable, *args: object
+    ) -> None:
+        """Schedule ``callback(*args)`` at ``when`` under a reserved ``handle``.
+
+        The handle must come from :meth:`reserve_handles` and must not be
+        live; ``when`` may not be in the past. Ties at the same time fire
+        in handle order, exactly as if the event had been scheduled with
+        :meth:`call_at` at reservation time.
+        """
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        if handle >= self._next_handle or handle in self._entries:
+            raise ValueError(f"handle {handle} is not a free reserved handle")
+        entry = [when, handle, callback, args]
+        self._entries[handle] = entry
+        heapq.heappush(self._queue, entry)
+
     def cancel(self, handle: int) -> None:
         """Cancel a scheduled event; idempotent, no-op once it has fired."""
         entry = self._entries.pop(handle, None)
@@ -98,6 +139,8 @@ class Scheduler:
         Lets callers that carry state in event args (e.g. the network's
         in-flight messages) inspect it without shadow bookkeeping. Snapshot
         semantics: safe to :meth:`cancel` yielded handles while iterating.
+        Yields in insertion order; re-armed reserved handles may appear out
+        of handle order, so order-sensitive callers must sort by handle.
         """
         snapshot = [
             (handle, entry[3])

@@ -45,7 +45,15 @@ class Message(ABC):
 
     Subclasses are plain dataclasses; the only contract is an accurate
     :meth:`wire_size` so the metrics layer can do §3-style accounting.
+
+    The base class is slotted so hot message dataclasses can opt into
+    ``slots=True`` (no per-message ``__dict__`` at n=100 scale); the two
+    slots hold per-object memo fields shared by every receiver of the same
+    broadcast object: the wire-size cache and the AVID proof-verification
+    cache (a pure function of the message's own fields).
     """
+
+    __slots__ = ("_wire_size_cache", "_verify_cache")
 
     @abstractmethod
     def wire_size(self, n: int) -> int:
@@ -60,7 +68,7 @@ class Message(ABC):
         bypasses their setattr guard) and is keyed by ``n`` in case a
         message ever crosses deployments of different sizes.
         """
-        cached = self.__dict__.get("_wire_size_cache")
+        cached = getattr(self, "_wire_size_cache", None)
         if cached is not None and cached[0] == n:
             return cached[1]
         bits = self.wire_size(n)

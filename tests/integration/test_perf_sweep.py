@@ -6,6 +6,9 @@ this process or are fanned across a ``ProcessPoolExecutor`` — otherwise the
 committed ``BENCH_sim.json`` baseline could never gate regressions.
 """
 
+from repro.common.config import SystemConfig
+from repro.core.harness import DagRiderDeployment
+from repro.obs.context import Observability
 from repro.perf.cells import smoke_cells
 from repro.perf.compare import compare_documents
 from repro.perf.runner import run_cell, run_cell_profiled
@@ -37,11 +40,42 @@ class TestDeterminism:
         # Same grid shape, different seeds: simulated executions diverge.
         assert metric_payload(doc_a) != metric_payload(doc_b)
 
+    def test_batched_fanout_bit_identical_to_per_send(self):
+        """The coalesced-delivery fast path changes nothing observable.
+
+        Every committed BENCH_sim.json cell runs with batched broadcast
+        on; this cross-check reruns a full protocol deployment with the
+        per-destination fallback and demands byte-identical traces,
+        metrics, and delivered logs — the batching is pure mechanism.
+        """
+
+        def run(batched: bool):
+            observability = Observability()
+            deployment = DagRiderDeployment(
+                SystemConfig(n=4, seed=3), observability=observability
+            )
+            deployment.network.use_batched_broadcast = batched
+            assert deployment.run_until_wave(2, max_events=200_000)
+            return (
+                deployment.metrics.snapshot(),
+                deployment.scheduler.now,
+                deployment.scheduler.events_processed,
+                [
+                    [(v.round, v.source) for v in node.ordered]
+                    for node in deployment.correct_nodes
+                ],
+                observability.bus.events,
+            )
+
+        assert run(True) == run(False)
+
 
 class TestRunner:
     def test_cell_result_shape(self):
         result = run_cell(smoke_cells()[0])
-        assert set(result) == {"params", "metrics", "timing", "observability"}
+        assert set(result) == {"params", "metrics", "timing", "observability", "memory"}
+        assert result["memory"]["max_rss_kb"] > 0
+        assert result["memory"]["max_rss_delta_kb"] >= 0
         metrics = result["metrics"]
         assert metrics["commits"] > 0
         assert metrics["transactions"] > 0

@@ -94,6 +94,37 @@ class TestReachabilityAgainstNetworkx:
             assert got == expected
 
 
+class TestCompactPreservesReachability:
+    """``compact`` keeps every survivor-to-survivor answer intact.
+
+    The memory-bounded large-grid sweeps lean on this: nodes collect
+    delivered rounds mid-run, and the commit walk keeps querying ``path``
+    / ``strong_path`` across the survivors — including pairs whose only
+    connecting paths ran through collected vertices. The stored masks are
+    transitive closures, so restriction must not change any answer.
+    """
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_all_survivor_pairs_answer_unchanged(self, seed, horizon):
+        store, _graph, _strong, refs = build_random_dag(seed, n=8, rounds=30)
+        survivors = [ref for ref in refs if ref.round >= horizon]
+        before = {
+            (a, b): (store.path(a, b), store.strong_path(a, b))
+            for a in survivors
+            for b in survivors
+        }
+        store.compact(horizon, [])
+        for (a, b), expected in before.items():
+            assert (store.path(a, b), store.strong_path(a, b)) == expected
+        for ref in refs:
+            if ref.round < horizon:
+                assert not store.contains(ref)
+
+
 class TestStoreBasics:
     def test_genesis_present(self):
         store = DagStore(genesis_size=4)

@@ -158,6 +158,82 @@ class TestDet003SetOrderEscape:
         source = "def f(items, x):\n    s = set(items)\n    return x in s, len(s)\n"
         assert check(source) == []
 
+    def test_set_typed_local_iteration_flagged(self):
+        source = (
+            "def f(items):\n"
+            "    s = set(items)\n"
+            "    for x in s:\n"
+            "        print(x)\n"
+        )
+        assert codes(check(source)) == ["DET003"]
+
+    def test_set_typed_local_list_escape_flagged(self):
+        source = "def f(items):\n    s = {i for i in items}\n    return list(s)\n"
+        assert codes(check(source)) == ["DET003"]
+
+    def test_set_typed_local_sorted_clean(self):
+        source = (
+            "def f(items):\n"
+            "    s = set(items)\n"
+            "    return sorted(s)\n"
+        )
+        assert check(source) == []
+
+    def test_local_with_non_set_rebinding_clean(self):
+        # One non-set assignment makes the local's type statically unknown.
+        source = (
+            "def f(items, flag):\n"
+            "    s = set(items)\n"
+            "    if flag:\n"
+            "        s = load(items)\n"
+            "    return list(s)\n"
+        )
+        assert check(source) == []
+
+    def test_in_place_set_algebra_keeps_local_flagged(self):
+        source = (
+            "def f(items, extra):\n"
+            "    s = set(items)\n"
+            "    s |= extra\n"
+            "    return list(s)\n"
+        )
+        assert codes(check(source)) == ["DET003"]
+
+    def test_non_set_aug_assign_clean(self):
+        source = (
+            "def f(items):\n"
+            "    s = set(items)\n"
+            "    s += [1]\n"
+            "    return list(s)\n"
+        )
+        assert check(source) == []
+
+    def test_parameter_never_set_typed(self):
+        source = "def f(s):\n    return list(s)\n"
+        assert check(source) == []
+
+    def test_nested_scope_locals_not_confused(self):
+        # The inner function's `s` is a parameter, not the outer set local.
+        source = (
+            "def f(items):\n"
+            "    s = set(items)\n"
+            "    def g(s):\n"
+            "        return list(s)\n"
+            "    return g(sorted(s))\n"
+        )
+        assert check(source) == []
+
+    def test_set_typed_local_suppression_silences(self):
+        source = (
+            "def f(items):\n"
+            "    s = set(items)\n"
+            "    # repro-lint: ignore[DET003] all elements identical\n"
+            "    return list(s)\n"
+        )
+        active, suppressed = check_suppressed(source)
+        assert active == []
+        assert codes(suppressed) == ["DET003"]
+
     def test_suppression_silences(self):
         source = (
             "def f(items):\n"

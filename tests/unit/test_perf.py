@@ -30,7 +30,29 @@ def document(wall=1.0, bits=100, commits=8, events=50, suite="smoke"):
 
 class TestCells:
     def test_suites_registered(self):
-        assert set(SUITES) == {"table1", "smoke"}
+        assert set(SUITES) == {"table1", "table1-large", "all", "smoke"}
+
+    def test_table1_large_grid_shape(self):
+        cells = suite_cells("table1-large")
+        assert {cell.n for cell in cells} == {13, 25, 50, 100}
+        assert {cell.broadcast for cell in cells} == {"bracha", "gossip", "avid"}
+        names = [cell.name for cell in cells]
+        assert len(set(names)) == len(names)
+        crash = [cell for cell in cells if cell.fault == "crash_restart"]
+        assert len(crash) == 4
+        assert all(cell.name.endswith("-crash") for cell in crash)
+        assert all(cell.fault is None for cell in table1_cells())
+        # Budgets scale: wave targets shrink and event budgets grow with n.
+        by_n = {cell.n: cell for cell in cells if cell.fault is None}
+        assert by_n[100].wave_target <= by_n[25].wave_target
+        assert by_n[100].max_events > by_n[25].max_events
+
+    def test_all_suite_unions_grids(self):
+        names = [cell.name for cell in suite_cells("all")]
+        assert len(set(names)) == len(names)
+        table1 = {cell.name for cell in table1_cells()}
+        large = {cell.name for cell in suite_cells("table1-large")}
+        assert set(names) == table1 | large
 
     def test_table1_grid_shape(self):
         cells = table1_cells()
