@@ -18,6 +18,7 @@ from typing import Sequence
 
 from repro.lint.baseline import BaselineError, load_baseline, write_baseline
 from repro.lint.engine import LintResult, run
+from repro.lint.project import project_rule_table
 from repro.lint.registry import rule_table
 from repro.lint.violations import Violation
 
@@ -107,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the whole-program contract rules (CONTRACT*); useful "
+        "when linting a partial tree",
+    )
     return parser
 
 
@@ -115,8 +122,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for code, scope, summary in rule_table():
-            print(f"{code:10s} [{scope}] {summary}")
+        # Importing the rules package (via engine -> rules) registered both
+        # tiers; engine is already imported above.
+        for code, scope, summary in sorted(rule_table() + project_rule_table()):
+            print(f"{code:12s} [{scope}] {summary}")
         return 0
 
     paths = [Path(p) for p in args.paths]
@@ -136,7 +145,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    result = run(paths, root=args.root, baseline=baseline)
+    result = run(
+        paths, root=args.root, baseline=baseline, project=not args.no_project
+    )
 
     if args.write_baseline:
         write_baseline(baseline_path, result.new + result.baselined)

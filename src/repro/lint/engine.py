@@ -1,10 +1,13 @@
-"""File discovery and per-module orchestration.
+"""File discovery and per-module/whole-program orchestration.
 
 The engine walks the given paths, parses each ``.py`` file once, runs every
-applicable rule (see :mod:`repro.lint.registry`), applies inline
-suppressions, and (optionally) splits the remainder against a committed
-baseline. All ordering is deterministic — paths are sorted, violations are
-sorted by position — so the linter obeys its own rules.
+applicable per-file rule (see :mod:`repro.lint.registry`), then assembles
+the parsed modules into a :class:`repro.lint.project.ProjectModel` and runs
+the cross-module contract rules over it. Inline suppressions apply to both
+tiers (a project violation anchored in a python file honours that file's
+suppression comments), as does the committed baseline. All ordering is
+deterministic — paths are sorted, violations are sorted by position — so
+the linter obeys its own rules.
 """
 
 from __future__ import annotations
@@ -13,9 +16,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
-# Importing the rules package populates the registry as a side effect.
+# Importing the rules package populates both rule registries as a side
+# effect (per-file rules and project-tier contract rules).
 import repro.lint.rules  # noqa: F401
 from repro.lint.baseline import split_by_baseline
+from repro.lint.project import ProjectModel, check_project
 from repro.lint.registry import ModuleContext, check_module
 from repro.lint.suppress import is_suppressed, parse_suppressions
 from repro.lint.violations import Violation, sort_key
@@ -93,10 +98,21 @@ def run(
     *,
     root: Path,
     baseline: Counter[str] | None = None,
+    project: bool = True,
 ) -> LintResult:
-    """Lint every file under ``paths``; split against ``baseline`` if given."""
+    """Lint every file under ``paths``; split against ``baseline`` if given.
+
+    With ``project`` (the default) the parsed modules are additionally fed
+    to the whole-program contract rules. Contract rules anchored on modules
+    outside ``paths`` stay silent, but catalog-style rules (emitted events
+    vs. docs) see only the modules actually linted — lint the full tree
+    (the default ``src``) for the contracts to be meaningful, or pass
+    ``--no-project`` for partial sweeps.
+    """
     result = LintResult()
     collected: list[Violation] = []
+    contexts: list[ModuleContext] = []
+    suppressions_by_path: dict[str, dict[int, set[str]]] = {}
     for file_path in discover_files(paths):
         rel = relative_posix(file_path, root)
         try:
@@ -106,9 +122,19 @@ def run(
             result.parse_errors.append((rel, str(exc)))
             continue
         result.files_checked += 1
+        contexts.append(context)
         violations = check_module(context)
         suppressions = parse_suppressions(context.lines)
+        suppressions_by_path[rel] = suppressions
         for violation in violations:
+            if is_suppressed(violation, suppressions):
+                result.suppressed.append(violation)
+            else:
+                collected.append(violation)
+    if project:
+        model = ProjectModel.from_contexts(contexts, root=root)
+        for violation in check_project(model):
+            suppressions = suppressions_by_path.get(violation.path, {})
             if is_suppressed(violation, suppressions):
                 result.suppressed.append(violation)
             else:

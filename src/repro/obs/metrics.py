@@ -94,7 +94,7 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
-    def record_many(self, values: list) -> None:
+    def record_many(self, values: list[float]) -> None:
         """Count observations in order; same totals as repeated :meth:`record`."""
         counts = self.counts
         bounds = self.bounds

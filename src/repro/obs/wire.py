@@ -26,9 +26,9 @@ from dataclasses import dataclass, field
 class MetricsCollector:
     """Accumulates wire and timing statistics for one simulated execution."""
 
-    bits_by_process: Counter = field(default_factory=Counter)
-    bits_by_tag: Counter = field(default_factory=Counter)
-    messages_by_tag: Counter = field(default_factory=Counter)
+    bits_by_process: Counter[int] = field(default_factory=Counter)
+    bits_by_tag: Counter[str] = field(default_factory=Counter)
+    messages_by_tag: Counter[str] = field(default_factory=Counter)
     correct_bits_total: int = 0
     total_bits: int = 0
     messages_total: int = 0
@@ -72,7 +72,7 @@ class MetricsCollector:
             self.delays_recorded += 1
             self._delay_sum += delay
 
-    def record_delays(self, delays: list) -> None:
+    def record_delays(self, delays: list[float]) -> None:
         """Record correct-pair delays in order, one call per fan-out.
 
         The float sum accumulates element by element exactly as repeated

@@ -121,13 +121,13 @@ class ChaosTransport:
         self.delays = 0
         self.severs = 0
         self.dial_failures = 0
-        self.severs_by_link: Counter = Counter()
+        self.severs_by_link: Counter[tuple[int, int]] = Counter()
         self.crashes = 0
         self._seen: dict[tuple[int, int], int] = {}
         self._written_seen: dict[tuple[int, int], int] = {}
-        self._write_counts: Counter = Counter()
+        self._write_counts: Counter[tuple[int, int]] = Counter()
         self._crash_seen: dict[tuple[int, int], int] = {}
-        self._node_frames: Counter = Counter()
+        self._node_frames: Counter[int] = Counter()
         self._crash_handlers: dict[int, CrashHandler] = {}
 
     def bind_node(self, pid: int, handler: CrashHandler) -> None:

@@ -11,7 +11,7 @@ share their boot/teardown code.
 from __future__ import annotations
 
 from collections import Counter
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import asyncio
 
@@ -57,7 +57,7 @@ class LocalCluster:
         observability: Observability | None = None,
         peers: dict[int, tuple[str, int]] | None = None,
         state_dirs: dict[int, str] | None = None,
-        **node_kwargs,
+        **node_kwargs: Any,
     ):
         self.config = config
         self.peers = (
@@ -145,7 +145,7 @@ class LocalCluster:
 
     def link_report(self) -> dict[str, object]:
         """Aggregate reliable-link counters across every node."""
-        totals: Counter = Counter()
+        totals: Counter[str] = Counter()
         degraded: set[int] = set()
         depth = 0
         for network in self.networks:

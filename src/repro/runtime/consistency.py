@@ -19,7 +19,7 @@ Digests travel as hex strings so they survive JSON control channels.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from repro.common.errors import ConsistencyError
 from repro.crypto.hashing import digest_of
@@ -38,7 +38,7 @@ def digest_log(entries: Iterable["OrderedEntry"]) -> list[str]:
     return [entry_digest(entry) for entry in entries]
 
 
-def full_digest_log(node) -> list[str]:
+def full_digest_log(node: Any) -> list[str]:
     """A node's complete digest log, including deliveries from past lives.
 
     A restarted node's ``ordered`` list only holds entries delivered since

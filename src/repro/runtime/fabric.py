@@ -44,7 +44,7 @@ import sys
 import time
 from collections import Counter
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.common.errors import ConfigurationError, ConsistencyError
 from repro.obs.analyze import diff_traces
@@ -105,8 +105,8 @@ def plan_table(
 
 
 def control_call(
-    address: tuple[str, int], request: dict, timeout: float = 10.0
-) -> dict:
+    address: tuple[str, int], request: dict[str, Any], timeout: float = 10.0
+) -> dict[str, Any]:
     """One request/response round-trip on a node's control socket."""
     with socket.create_connection(address, timeout=timeout) as sock:
         sock.sendall((json.dumps(request) + "\n").encode())
@@ -458,7 +458,7 @@ def merge_traces(traces: Sequence[Trace]) -> str:
         (event for trace in traces for event in trace.events),
         key=lambda event: (event.time, event.pid),
     )
-    totals: Counter = Counter()
+    totals: Counter[str] = Counter()
     for trace in traces:
         links = (trace.metrics or {}).get("links", {})
         if isinstance(links, dict):
@@ -633,8 +633,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         # Aggregate state over the control sockets while nodes are live.
         logs: dict[str, list[str]] = {}
-        statuses: dict[int, dict] = {}
-        link_totals: Counter = Counter()
+        statuses: dict[int, dict[str, Any]] = {}
+        link_totals: Counter[str] = Counter()
         trace_texts: dict[int, str] = {}
         for entry in table.peers:
             address = entry.control_address

@@ -145,6 +145,7 @@ class LinkStats:
     dropped_degraded: int = 0
     handshake_rejects: int = 0
     superseded_connections: int = 0
+    task_failures: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Counters as a plain dict (for reports and aggregation)."""
@@ -202,8 +203,8 @@ class ReliableLink:
         self._last_rx = loop.time()
         self._wake = asyncio.Event()
         self._writer: asyncio.StreamWriter | None = None
-        self._reader_task: asyncio.Task | None = None
-        self._task: asyncio.Task | None = None
+        self._reader_task: asyncio.Task[None] | None = None
+        self._task: asyncio.Task[None] | None = None
         self._closed = False
 
     # ------------------------------------------------------------- queueing
@@ -235,6 +236,7 @@ class ReliableLink:
         self._wake.set()
         if self._task is None:
             self._task = self._loop.create_task(self._run())
+            self._task.add_done_callback(self._on_task_done)
 
     def sever(self) -> int:
         """Forcibly cut the live connection (fault-injection helper).
@@ -340,6 +342,7 @@ class ReliableLink:
             self._down_since = None
             self._last_rx = self._loop.time()
             self._reader_task = self._loop.create_task(self._read_acks(reader))
+            self._reader_task.add_done_callback(self._on_task_done)
             return
 
     async def _stream(self) -> None:
@@ -461,6 +464,29 @@ class ReliableLink:
                 self._unacked.popleft()
 
     # ------------------------------------------------------------ lifecycle
+
+    def _on_task_done(self, task: asyncio.Task[None]) -> None:
+        """Surface pump/reader crashes the moment they happen (ASYNC003).
+
+        Expected terminations (cancellation at close, clean returns) pass
+        through silently; an unexpected exception would otherwise sit
+        swallowed inside the task object until shutdown awaits it, leaving
+        the peer silently dead in the meantime.
+        """
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        self._stats.task_failures += 1
+        if self._obs is not None:
+            self._obs.emit(
+                self.pid,
+                "link_task_error",
+                dst=self.dst,
+                error=type(exc).__name__,
+            )
+            self._obs.registry.counter("link.task_errors").inc()
 
     async def _drop_connection(self) -> None:
         if self._reader_task is not None:

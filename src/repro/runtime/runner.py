@@ -28,7 +28,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import ConfigurationError
 from repro.core.node import DagRiderNode
@@ -54,7 +54,7 @@ class NodeRunner:
         observability: Observability | None = None,
         chaos: "ChaosTransport | None" = None,
         dealer: CoinDealer | None = None,
-        node_kwargs: dict | None = None,
+        node_kwargs: dict[str, Any] | None = None,
         state_dir: str | None = None,
         fsync: str = "commit",
     ):
@@ -241,7 +241,7 @@ class ControlServer:
             await self._server.wait_closed()
             self._server = None
 
-    def _dispatch(self, request: dict) -> dict[str, object]:
+    def _dispatch(self, request: dict[str, Any]) -> dict[str, object]:
         command = request.get("cmd")
         runner = self.runner
         if command == "ping":

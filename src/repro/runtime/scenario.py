@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.common.errors import ConfigurationError
 
@@ -75,7 +76,7 @@ class Scenario:
     steps: tuple[ScenarioStep, ...] = field(default=())
 
 
-def _require_number(raw: dict, key: str, where: str, minimum: float = 0.0) -> None:
+def _require_number(raw: dict[str, Any], key: str, where: str, minimum: float = 0.0) -> None:
     value = raw.get(key)
     if value is None:
         return
@@ -85,7 +86,7 @@ def _require_number(raw: dict, key: str, where: str, minimum: float = 0.0) -> No
         raise ConfigurationError(f"{where}: {key} must be >= {minimum}, got {value}")
 
 
-def parse_step(raw: dict, index: int, n: int) -> ScenarioStep:
+def parse_step(raw: dict[str, Any], index: int, n: int) -> ScenarioStep:
     """Validate and freeze one step object."""
     where = f"step {index}"
     if not isinstance(raw, dict):
@@ -165,7 +166,7 @@ def parse_step(raw: dict, index: int, n: int) -> ScenarioStep:
     )
 
 
-def parse_scenario(raw: dict, origin: str = "<scenario>") -> Scenario:
+def parse_scenario(raw: dict[str, Any], origin: str = "<scenario>") -> Scenario:
     """Validate a decoded scenario document into a :class:`Scenario`."""
     if not isinstance(raw, dict):
         raise ConfigurationError(f"{origin}: scenario must be an object")

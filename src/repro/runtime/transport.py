@@ -27,7 +27,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.codec import decode_message, encode_message
 from repro.codec.frames import LinkAck, LinkHeartbeat
@@ -67,7 +67,7 @@ class AsyncScheduler:
         """Seconds since this scheduler was created."""
         return self._loop.time() - self._epoch
 
-    def call_later(self, delay: float, callback) -> int:
+    def call_later(self, delay: float, callback: Callable[[], object]) -> int:
         handle_id = self._next
         self._next += 1
         self._handles[handle_id] = self._loop.call_later(
@@ -134,7 +134,7 @@ class TcpNetwork:
         #: system-wide, so each boot on a host gets a strictly larger one).
         self.incarnation = time.monotonic_ns() & (2**64 - 1)
         self._peer_incarnation: dict[int, int] = {}
-        self._accept_tasks: set[asyncio.Task] = set()
+        self._accept_tasks: set[asyncio.Task[None]] = set()
         self._closed = False
         self._blackout_until = 0.0  # loop time; crash_restart fault window
         self._blocked: set[int] = set()  # partitioned peers (both directions)
