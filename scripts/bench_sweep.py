@@ -59,6 +59,11 @@ def main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help="run cells serially under cProfile and print the reports",
     )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="print one progress line per completed cell (stderr); the "
+        "merged document is byte-identical with or without it",
+    )
     args = parser.parse_args(argv)
 
     cells = suite_cells(args.suite, args.seed)
@@ -75,12 +80,21 @@ def main(argv: list[str] | None = None) -> int:
             print(text)
         return 0
 
+    progress = None
+    if args.live:
+        def progress(done: int, total: int, name: str, seconds: float) -> None:
+            print(
+                f"sweep: [{done}/{total}] {name} done in {seconds:.2f}s",
+                file=sys.stderr, flush=True,
+            )
+
     start = time.perf_counter()
     document = run_sweep(
         cells,
         suite=args.suite,
         jobs=args.jobs,
         generated_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        progress=progress,
     )
     elapsed = time.perf_counter() - start
     print(render_summary(document))

@@ -19,8 +19,13 @@ simulator, the protocol core, and the TCP runtime:
 * :mod:`repro.obs.export` — versioned JSONL trace export/import.
 * :mod:`repro.obs.analyze` — summaries, filters, and trace *diffing*
   (clean run vs. chaos run → which waves paid for redelivery).
+* :mod:`repro.obs.stream` — live telemetry: bounded-ring bus
+  subscribers, incremental metric deltas, the ``repro.obs.stream``
+  newline-JSON wire format, the flight recorder, and the stall detector.
+* :mod:`repro.obs.causal` — cross-host causal stitching of merged traces
+  into per-vertex chains with per-edge latency percentiles.
 * ``python -m repro.obs`` (:mod:`repro.obs.cli`) — record / summarize /
-  filter / diff from the command line.
+  filter / diff / causal from the command line.
 
 The package is dependency-light by design: it imports nothing from
 ``repro.sim``, ``repro.core``, or ``repro.runtime``, so every layer can
@@ -38,6 +43,7 @@ from repro.obs.analyze import (
     wave_stats,
 )
 from repro.obs.bus import EventBus
+from repro.obs.causal import CausalReport, EdgeStats, VertexChain, stitch
 from repro.obs.context import Observability
 from repro.obs.events import Event, Scalar, make_fields
 from repro.obs.export import (
@@ -60,15 +66,30 @@ from repro.obs.spans import (
     PIPELINE_PHASES,
     SpanTracker,
 )
+from repro.obs.stream import (
+    STREAM_SCHEMA,
+    STREAM_VERSION,
+    FlightRecorder,
+    MetricsDelta,
+    StallDetector,
+    StreamFormatError,
+    StreamSubscriber,
+    decode_stream_line,
+    encode_stream_line,
+)
 from repro.obs.wire import MetricsCollector
 
 __all__ = [
+    "CausalReport",
     "Counter",
+    "EdgeStats",
     "Event",
     "EventBus",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsCollector",
+    "MetricsDelta",
     "MetricsRegistry",
     "Observability",
     "PHASE_BROADCAST",
@@ -77,22 +98,31 @@ __all__ = [
     "PHASE_DELIVER",
     "PHASE_WAVE_LEADER",
     "PIPELINE_PHASES",
+    "STREAM_SCHEMA",
+    "STREAM_VERSION",
     "Scalar",
     "SpanTracker",
+    "StallDetector",
+    "StreamFormatError",
+    "StreamSubscriber",
     "TRACE_SCHEMA",
     "TRACE_VERSION",
     "Trace",
     "TraceDiff",
     "TraceFormatError",
+    "VertexChain",
     "WaveStats",
+    "decode_stream_line",
     "diff_traces",
     "dump_trace",
     "dumps_trace",
+    "encode_stream_line",
     "filter_events",
     "kind_counts",
     "load_trace",
     "loads_trace",
     "make_fields",
+    "stitch",
     "summarize",
     "wave_stats",
 ]

@@ -69,6 +69,18 @@ class EventBus:
         """Call ``subscriber`` synchronously for every future emit."""
         self._subscribers.append(subscriber)
 
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Detach a subscriber added with :meth:`subscribe`; idempotent.
+
+        Live taps (:class:`repro.obs.stream.StreamSubscriber`, flight
+        recorders) come and go with control-socket connections, so
+        detaching must not error when the subscriber is already gone.
+        """
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
     # ---------------------------------------------------------------- views
 
     def of_kind(self, kind: str, pid: int | None = None) -> list[Event]:

@@ -1,24 +1,31 @@
-"""``python -m repro.obs`` — record, summarize, filter, and diff traces.
+"""``python -m repro.obs`` — record, summarize, filter, diff, stitch traces.
 
 Typical acceptance-style session::
 
     python -m repro.obs record bracha-n4-b4 --out clean.jsonl
     python -m repro.obs record bracha-n4-b4 --out slow.jsonl --slow 0:1.5
     python -m repro.obs diff clean.jsonl slow.jsonl
+    python -m repro.obs causal fabric-out/merged.trace.jsonl
 
 ``diff`` follows Unix ``diff`` conventions: exit status 0 when the traces
 match (two clean same-seed runs), 1 when they differ (the report then
 pinpoints the redelivery/chaos event kinds and the waves whose commit
-latency moved).
+latency moved). ``causal`` joins a merged multi-host trace into
+per-vertex causal chains with per-edge latency percentiles and a
+cross-host clock-skew report (:mod:`repro.obs.causal`); it exits 1 when
+no chains could be stitched — an empty result means the trace carries no
+delivered vertices, which is itself a finding.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.obs.analyze import diff_traces, filter_events, summarize
+from repro.obs.causal import stitch
 from repro.obs.export import Trace, dump_trace, dumps_trace, load_trace
 
 
@@ -92,6 +99,16 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.empty else 1
 
 
+def _cmd_causal(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    report = stitch(trace.events)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(limit=args.limit))
+    return 0 if report.stitched_chains else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -141,10 +158,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.0: exact, for deterministic simulator traces)",
     )
     diff.set_defaults(func=_cmd_diff)
+
+    causal = sub.add_parser(
+        "causal",
+        help="stitch a merged multi-host trace into per-vertex causal chains "
+        "(exit 1 when nothing could be stitched)",
+    )
+    causal.add_argument("trace", help="trace file (JSONL), e.g. merged.trace.jsonl")
+    causal.add_argument(
+        "--json", action="store_true", help="emit the report as JSON instead of text"
+    )
+    causal.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="also print up to N per-vertex lines (default 0: edge table only)",
+    )
+    causal.set_defaults(func=_cmd_causal)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    result: int = args.func(args)
+    try:
+        result: int = args.func(args)
+    except BrokenPipeError:
+        # ``... | head`` closed stdout mid-report; exit quietly like diff(1)
+        # (detach stdout so the interpreter's flush-at-exit stays silent).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     return result

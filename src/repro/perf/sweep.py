@@ -11,10 +11,16 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Callable
 
 from repro.perf.runner import run_cell
+
+#: ``progress(done, total, cell_name, cell_wall_seconds)`` — called once
+#: per *completed* cell, in completion order. Purely informational: the
+#: merged document (and therefore the exact-compare metric payload) is
+#: identical with or without a callback.
+ProgressFn = Callable[[int, int, str, float], None]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.cells import BenchCell
@@ -32,6 +38,7 @@ def run_sweep(
     suite: str,
     jobs: int | None = None,
     generated_at: str | None = None,
+    progress: ProgressFn | None = None,
 ) -> dict:
     """Run every cell and merge results into a ``BENCH_sim.json`` document.
 
@@ -42,6 +49,9 @@ def run_sweep(
             single cell) runs serially in-process.
         generated_at: Timestamp string stored verbatim (excluded from every
             determinism comparison); omitted entirely when None.
+        progress: Optional per-completed-cell callback (long n=50/n=100
+            grids run for minutes; this is the sweep's live view). Results
+            are still assembled in declaration order.
     """
     names = [cell.name for cell in cells]
     if len(set(names)) != len(names):
@@ -52,10 +62,28 @@ def run_sweep(
         except AttributeError:  # pragma: no cover - non-Linux fallback
             jobs = os.cpu_count() or 1
     if jobs <= 1 or len(cells) <= 1:
-        results = [run_cell(cell) for cell in cells]
+        results = []
+        for index, cell in enumerate(cells):
+            result = run_cell(cell)
+            results.append(result)
+            if progress is not None:
+                progress(
+                    index + 1, len(cells), cell.name,
+                    result["timing"]["wall_clock_s"],
+                )
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            results = list(pool.map(run_cell, cells))
+            futures = [pool.submit(run_cell, cell) for cell in cells]
+            if progress is not None:
+                cell_of = {
+                    future: cell for future, cell in zip(futures, cells)
+                }
+                for done, future in enumerate(as_completed(futures), start=1):
+                    progress(
+                        done, len(cells), cell_of[future].name,
+                        future.result()["timing"]["wall_clock_s"],
+                    )
+            results = [future.result() for future in futures]
 
     wall_total = sum(r["timing"]["wall_clock_s"] for r in results)
     events_total = sum(r["metrics"]["events"] for r in results)

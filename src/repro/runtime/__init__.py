@@ -28,6 +28,12 @@ the protocol logic depends on the simulator.
   inside one asyncio loop (tests, examples) over the same boot/teardown
   path; ``scripts/fabric.py`` / :mod:`repro.runtime.fabric` drive n
   runner *processes* instead.
+* :mod:`repro.runtime.live` — the fabric driver's live telemetry view:
+  one ``subscribe`` control-socket stream per runner folded into a
+  per-node commit-frontier row (TTY repaint or plain ``live:`` lines),
+  raw stream tees, and the quorum-frontier stall detector that triggers
+  flight-recorder dumps (``docs/observability.md`` "Live streaming and
+  causal analysis").
 * :mod:`repro.runtime.consistency` — the digest-based prefix-consistency
   check both deployment shapes run over delivery logs.
 
@@ -36,6 +42,7 @@ See ``docs/runtime.md`` for the full design.
 
 from repro.runtime.chaos import ChaosConfig, ChaosTransport, FrameFate
 from repro.runtime.cluster import LocalCluster
+from repro.runtime.live import DEFAULT_STALL_WINDOW, LiveView, NodeView
 from repro.runtime.consistency import (
     check_prefix_consistency,
     digest_log,
@@ -59,11 +66,14 @@ __all__ = [
     "ChaosConfig",
     "ChaosTransport",
     "ControlServer",
+    "DEFAULT_STALL_WINDOW",
     "FrameFate",
     "LinkConfig",
     "LinkStats",
+    "LiveView",
     "LocalCluster",
     "NodeRunner",
+    "NodeView",
     "PeerEntry",
     "PeerTable",
     "PeerTableError",

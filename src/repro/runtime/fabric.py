@@ -30,6 +30,17 @@ their ``--state-dir`` (every scenario run journals durable state), cutting
 partitions and slowing peers over the control sockets — and asserting the
 cross-host digest prefix check passes after every recovery.
 
+While waiting, the driver keeps a **live telemetry view** open: one
+``subscribe`` stream per node (:mod:`repro.runtime.live`) renders a
+one-line-per-node commit-frontier / queue-depth table (in place on a
+TTY, as plain ``live:`` lines otherwise; ``--no-live`` turns it off) and
+tees each node's raw stream to ``node-<pid>.stream.jsonl``. A stall
+detector rides on the same streams: when the quorum commit frontier is
+flat for ``--stall-window`` seconds the driver pulls every node's
+``flight`` ring dump into ``stall-<k>.json``; a total-order violation
+likewise snapshots the rings into ``flight-consistency.json`` before
+the cluster is torn down.
+
 Exit codes: 0 success, 1 total-order violation, 2 boot/target timeout.
 """
 
@@ -44,12 +55,13 @@ import sys
 import time
 from collections import Counter
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError, ConsistencyError
 from repro.obs.analyze import diff_traces
 from repro.obs.export import Trace, dumps_trace, loads_trace
 from repro.runtime.consistency import check_prefix_consistency
+from repro.runtime.live import DEFAULT_STALL_WINDOW, LiveView
 from repro.runtime.peers import (
     PeerTable,
     allocate_port_block,
@@ -278,27 +290,84 @@ def spawn_runners(
     }
 
 
-def reap(processes: Sequence[subprocess.Popen], timeout: float = 15.0) -> None:
+def reap(
+    processes: Mapping[int, subprocess.Popen], timeout: float = 15.0
+) -> None:
     """Wait for runners to exit, escalating terminate -> kill past the deadline.
 
     A runner wedged mid-shutdown (or one that never saw its control stop)
     first gets SIGTERM — the polite chance to flush its trace — and only
     if it ignores that within the grace window is it SIGKILLed, so the
-    driver can never hang on a stuck child.
+    driver can never hang on a stuck child. Any pid that needed the
+    escalation is named in the driver's output: a node that had to be
+    terminated did not stop cleanly, and that is a finding, not noise.
     """
     deadline = time.monotonic() + timeout
-    for process in processes:
+    terminated: list[int] = []
+    killed: list[int] = []
+    for pid, process in processes.items():
         remaining = max(0.1, deadline - time.monotonic())
         try:
             process.wait(timeout=remaining)
             continue
         except subprocess.TimeoutExpired:
+            terminated.append(pid)
             process.terminate()
         try:
             process.wait(timeout=5.0)
         except subprocess.TimeoutExpired:
+            killed.append(pid)
             process.kill()
             process.wait()
+    if terminated:
+        print(
+            f"fabric: reap: nodes {terminated} ignored the control stop; "
+            "sent SIGTERM",
+            file=sys.stderr,
+        )
+    if killed:
+        print(
+            f"fabric: reap: nodes {killed} ignored SIGTERM; sent SIGKILL",
+            file=sys.stderr,
+        )
+
+
+# ------------------------------------------------------------- diagnostics
+
+
+def collect_flight_dumps(
+    table: PeerTable,
+    out_dir: Path,
+    reason: str,
+    stalled_for: float | None = None,
+    index: int | None = None,
+) -> Path:
+    """Pull every reachable node's flight-recorder ring into one file.
+
+    The ``flight`` control command makes each node dump its in-memory
+    last-K event ring (plus status and link report) and stamp its own
+    trace with ``flight_dump`` — so post-hoc analysis of the traces can
+    line the dumps up with protocol time. Unreachable nodes are recorded
+    as errors rather than aborting: diagnostics must degrade, not fail.
+    """
+    request: dict[str, Any] = {"cmd": "flight", "reason": reason}
+    if stalled_for is not None:
+        request["stalled_for"] = round(stalled_for, 3)
+    dumps: dict[str, object] = {}
+    for entry in table.peers:
+        try:
+            dumps[str(entry.pid)] = control_call(
+                entry.control_address, request, timeout=10.0
+            )
+        except (OSError, ValueError) as error:
+            dumps[str(entry.pid)] = {"ok": False, "error": str(error)}
+    suffix = f"-{index}" if index is not None else ""
+    path = out_dir / f"{'stall' if reason == 'stall' else 'flight-' + reason}{suffix}.json"
+    path.write_text(
+        json.dumps({"reason": reason, "nodes": dumps}, indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return path
 
 
 # ---------------------------------------------------------------- scenarios
@@ -345,6 +414,7 @@ def _crash_once(
     run_seconds: float,
     deadline: float,
     boot_latency: dict[int, float],
+    announce: Callable[[str], None] = print,
 ) -> int:
     """Kill one runner, restart it from its state dir, verify consistency."""
     pid = step.pid
@@ -358,7 +428,7 @@ def _crash_once(
     else:
         process.terminate()
     process.wait()
-    print(f"fabric: scenario: sent SIG{step.signal.upper()} to node {pid}")
+    announce(f"fabric: scenario: sent SIG{step.signal.upper()} to node {pid}")
     time.sleep(step.restart_after)
     processes[pid] = spawn_runner(
         pid,
@@ -375,7 +445,7 @@ def _crash_once(
     boot_latency[pid] = boot[pid]
     status = control_call(table.entry(pid).control_address, {"cmd": "status"})
     recovery = status.get("recovery", {})
-    print(
+    announce(
         f"fabric: scenario: node {pid} recovered in {boot[pid]:.2f}s "
         f"(snapshot {recovery.get('snapshot_vertices', 0)} + "
         f"wal {recovery.get('replayed_vertices', 0)} vertices, "
@@ -384,7 +454,7 @@ def _crash_once(
     # The hard guarantee: a recovered node's log must still be a prefix
     # match with every peer — recovery may not rewrite history.
     prefix = check_prefix_consistency(fetch_digest_logs(table))
-    print(f"fabric: scenario: post-recovery prefix OK ({prefix} entries)")
+    announce(f"fabric: scenario: post-recovery prefix OK ({prefix} entries)")
     return 0
 
 
@@ -398,9 +468,23 @@ def run_scenario(
     run_seconds: float,
     deadline: float,
     boot_latency: dict[int, float],
+    announce: Callable[[str], None] = print,
+    live: LiveView | None = None,
 ) -> int:
-    """Execute the scenario's steps in order; 0 = all passed."""
+    """Execute the scenario's steps in order; 0 = all passed.
+
+    Progress goes through ``announce`` (the live view's scroll-safe
+    ``note`` when one is attached) and each step is named in the live
+    table's banner, so even the silent stretches — waiting for a wave,
+    a ``restart_after`` or ``heal_after`` sleep — show what the driver
+    is doing.
+    """
     for index, step in enumerate(scenario.steps):
+        if live is not None:
+            live.set_banner(
+                f"scenario step {index + 1}/{len(scenario.steps)}: "
+                f"{step.kind} (waiting for wave {step.at_wave})"
+            )
         if not wait_wave(table, step.at_wave, deadline):
             print(
                 f"fabric: scenario: step {index} ({step.kind}) timed out "
@@ -408,12 +492,17 @@ def run_scenario(
                 file=sys.stderr,
             )
             return 2
-        print(f"fabric: scenario: step {index}: {step.kind}")
+        if live is not None:
+            live.set_banner(
+                f"scenario step {index + 1}/{len(scenario.steps)}: {step.kind}"
+            )
+        announce(f"fabric: scenario: step {index}: {step.kind}")
         if step.kind in ("crash", "churn"):
             for _cycle in range(step.cycles if step.kind == "churn" else 1):
                 code = _crash_once(
                     step, table, peers_path, out_dir, state_dirs,
                     processes, run_seconds, deadline, boot_latency,
+                    announce=announce,
                 )
                 if code:
                     return code
@@ -425,21 +514,23 @@ def run_scenario(
                         table.entry(pid).control_address,
                         {"cmd": "partition", "peers": others},
                     )
-            print(f"fabric: scenario: partitioned {list(step.groups)}")
+            announce(f"fabric: scenario: partitioned {list(step.groups)}")
             time.sleep(step.heal_after)
             for entry in table.peers:
                 control_call(entry.control_address, {"cmd": "heal"})
-            print("fabric: scenario: partition healed")
+            announce("fabric: scenario: partition healed")
         elif step.kind == "slow":
             assert step.pid is not None
             address = table.entry(step.pid).control_address
             control_call(address, {"cmd": "slow", "delay": step.delay})
-            print(
+            announce(
                 f"fabric: scenario: node {step.pid} slowed by "
                 f"{step.delay * 1000:.0f}ms/frame"
             )
             time.sleep(step.duration)
             control_call(address, {"cmd": "slow", "delay": 0.0})
+    if live is not None:
+        live.set_banner("scenario done; waiting for targets")
     return 0
 
 
@@ -525,6 +616,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="diff each host's trace against host 0's (informational)",
     )
+    parser.add_argument(
+        "--no-live",
+        action="store_true",
+        help="disable the live per-node telemetry view (subscribe streams)",
+    )
+    parser.add_argument(
+        "--live-interval",
+        type=float,
+        default=1.0,
+        help="live view refresh / stream delta interval in seconds",
+    )
+    parser.add_argument(
+        "--stall-window",
+        type=float,
+        default=DEFAULT_STALL_WINDOW,
+        help="seconds of flat quorum commit frontier before pulling "
+        "flight-recorder dumps (default: %(default)s)",
+    )
     return parser
 
 
@@ -597,6 +706,37 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"fabric: spawned {len(processes)} runner processes")
 
     deadline = time.monotonic() + args.timeout
+
+    live: LiveView | None = None
+    stall_count = [0]
+    if not args.no_live:
+        def _on_stall(stalled_for: float, frontier: int) -> None:
+            stall_count[0] += 1
+            path = collect_flight_dumps(
+                table, out_dir, "stall",
+                stalled_for=stalled_for, index=stall_count[0],
+            )
+            message = (
+                f"fabric: stall diagnostics (frontier wave {frontier}) "
+                f"written to {path}"
+            )
+            if live is not None:
+                live.note(message)
+            else:  # pragma: no cover - live is set before any stall fires
+                print(message)
+
+        live = LiveView(
+            table,
+            {"cmd": "subscribe", "interval": args.live_interval},
+            out_dir=out_dir,
+            interval=args.live_interval,
+            stall_window=args.stall_window,
+            on_stall=_on_stall,
+        )
+        live.set_banner("booting")
+        live.start()
+    announce: Callable[[str], None] = live.note if live is not None else print
+
     boot_latency: dict[int, float] = {}
     try:
         boot = wait_ready(table, deadline)
@@ -605,16 +745,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         boot_latency.update(boot)
         slowest = max(boot.values()) if boot else 0.0
-        print(f"fabric: all {table.n} nodes ready (slowest boot {slowest:.2f}s)")
+        announce(
+            f"fabric: all {table.n} nodes ready (slowest boot {slowest:.2f}s)"
+        )
+        if live is not None:
+            live.set_banner(
+                f"running (targets: waves>={args.waves} blocks>={args.blocks})"
+            )
         if scenario is not None:
             try:
                 code = run_scenario(
                     scenario, table, peers_path, out_dir, state_dirs,
                     processes, run_seconds, deadline, boot_latency,
+                    announce=announce, live=live,
                 )
             except ConsistencyError as error:
+                dump_path = collect_flight_dumps(table, out_dir, "consistency")
                 print(
-                    f"fabric: TOTAL ORDER VIOLATION after recovery: {error}",
+                    f"fabric: TOTAL ORDER VIOLATION after recovery: {error} "
+                    f"(flight dumps: {dump_path})",
                     file=sys.stderr,
                 )
                 return 1
@@ -630,6 +779,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        if live is not None:
+            live.set_banner("targets reached; collecting state")
 
         # Aggregate state over the control sockets while nodes are live.
         logs: dict[str, list[str]] = {}
@@ -649,10 +800,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             trace_texts[entry.pid] = control_call(
                 address, {"cmd": "trace"}, timeout=30.0
             )["trace"]
+
+        # Verify total order while nodes are still live: a violation can
+        # then be answered with flight-recorder dumps over control.
+        try:
+            prefix = check_prefix_consistency(logs)
+        except ConsistencyError as error:
+            dump_path = collect_flight_dumps(table, out_dir, "consistency")
+            print(
+                f"fabric: TOTAL ORDER VIOLATION: {error} "
+                f"(flight dumps: {dump_path})",
+                file=sys.stderr,
+            )
+            return 1
     finally:
         stop_all(table)
+        if live is not None:
+            live.stop()
         if processes:
-            reap(list(processes.values()))
+            reap(processes)
 
     for pid, seconds in boot_latency.items():
         if pid in statuses:
@@ -676,11 +842,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{link_totals.get('redeliveries', 0)} redeliveries"
     )
 
-    try:
-        prefix = check_prefix_consistency(logs)
-    except ConsistencyError as error:
-        print(f"fabric: TOTAL ORDER VIOLATION: {error}", file=sys.stderr)
-        return 1
     print(
         f"fabric: digest-based total order OK across {table.n} nodes "
         f"(agreed prefix: {prefix} entries)"

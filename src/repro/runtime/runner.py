@@ -20,7 +20,16 @@ The control protocol is deliberately tiny: newline-delimited JSON request/
 response pairs over TCP (``{"cmd": "status"}`` -> one JSON line). Commands:
 ``ping``, ``status``, ``log`` (position-wise entry digests for the
 cross-host prefix-consistency check), ``link_report``, ``trace`` (the
-JSONL text so a driver needs no shared filesystem), and ``stop``.
+JSONL text so a driver needs no shared filesystem), ``flight`` (dump the
+in-memory flight-recorder ring — the black box a stall diagnostic
+fetches), and ``stop``. One command escapes the request/response shape:
+``subscribe`` switches the connection into **streaming** mode — the
+server answers with a ``repro.obs.stream`` v1 header line and then, every
+``interval`` seconds until the client disconnects or the node stops,
+writes the events buffered since the last tick (bounded ring, oldest
+dropped and counted under backpressure) plus one ``delta`` line carrying
+a status snapshot and the metric movement since the previous tick. See
+docs/observability.md "Live streaming and causal analysis".
 """
 
 from __future__ import annotations
@@ -35,6 +44,16 @@ from repro.core.node import DagRiderNode
 from repro.crypto.dealer import CoinDealer
 from repro.obs.context import Observability
 from repro.obs.export import dump_trace, dumps_trace
+from repro.obs.stream import (
+    DEFAULT_STREAM_CAPACITY,
+    FlightRecorder,
+    MetricsDelta,
+    StreamSubscriber,
+    delta_line,
+    encode_stream_line,
+    event_line,
+    stream_header,
+)
 from repro.runtime.consistency import full_digest_log
 from repro.runtime.peers import PeerTable
 from repro.runtime.transport import TcpNetwork
@@ -74,6 +93,7 @@ class NodeRunner:
         self.node: DagRiderNode | None = None
         self.journal: NodeJournal | None = None
         self.recovery: RecoveryReport | None = None
+        self.flight: FlightRecorder | None = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -90,6 +110,10 @@ class NodeRunner:
             obs=self.observability,
         )
         await self.network.start()
+        if self.observability is not None and self.flight is None:
+            # The black box: an always-on last-K ring of this node's own
+            # events, dumped over control on stall/consistency diagnostics.
+            self.flight = FlightRecorder(self.observability.bus)
         dealer = self._dealer
         if dealer is None:
             dealer = self.table.make_dealer()
@@ -155,6 +179,11 @@ class NodeRunner:
     def status(self) -> dict[str, object]:
         """Liveness snapshot the fabric driver polls."""
         node = self.node
+        depth = self.network.queue_depth if self.network is not None else 0
+        if self.observability is not None:
+            # Sampled here (every status poll and subscribe tick) so the
+            # live metric deltas carry transport backpressure.
+            self.observability.registry.gauge("link.queue_depth").set(float(depth))
         status: dict[str, object] = {
             "ok": True,
             "pid": self.pid,
@@ -162,6 +191,7 @@ class NodeRunner:
             "ordered": len(self.ordered_digests()),
             "decided_wave": node.decided_wave if node is not None else -1,
             "current_round": node.current_round if node is not None else -1,
+            "queue_depth": depth,
         }
         if self.recovery is not None:
             status["recovered"] = self.recovery.recovered
@@ -183,6 +213,43 @@ class NodeRunner:
         if self.network is None:
             return {}
         return self.network.link_report()
+
+    def flight_dump(
+        self, reason: str, stalled_for: float | None = None
+    ) -> dict[str, object]:
+        """Dump the flight-recorder ring (the ``flight`` control command).
+
+        Emits ``flight_dump`` into the node's own trace (so post-hoc
+        analysis sees *when* diagnostics were taken), and — when the
+        driver's stall detector asked (``reason="stall"``) — a
+        ``stall_detected`` event stamped with how long the quorum
+        frontier had been flat from the driver's point of view.
+        """
+        obs = self.observability
+        if obs is None or self.flight is None:
+            return {"ok": False, "pid": self.pid, "error": "no flight recorder"}
+        if reason == "stall":
+            obs.emit(
+                self.pid,
+                "stall_detected",
+                stalled_for=stalled_for,
+                decided_wave=self.node.decided_wave if self.node is not None else -1,
+            )
+        dump = self.flight.dump(reason, obs.bus.now)
+        obs.emit(
+            self.pid,
+            "flight_dump",
+            reason=reason,
+            events=int(dump.get("count", 0) or 0),
+            overwritten=int(dump.get("overwritten", 0) or 0),
+        )
+        return {
+            "ok": True,
+            "pid": self.pid,
+            "status": self.status(),
+            "link_report": self.link_report(),
+            "dump": dump,
+        }
 
     # -------------------------------------------------------------- tracing
 
@@ -231,6 +298,8 @@ class ControlServer:
         self.host = host
         self.port = port
         self._server: asyncio.AbstractServer | None = None
+        self._live_subscribers = 0
+        self._handlers: set[asyncio.Task[None]] = set()
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
@@ -240,6 +309,16 @@ class ControlServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        handlers = [task for task in self._handlers if not task.done()]
+        if handlers:
+            # ``Server.wait_closed`` does not wait for in-flight connection
+            # handlers (Python 3.11), and a ``subscribe`` stream flushes its
+            # final tick on the stop it shares with teardown — give handlers
+            # a grace period so that flush reaches the wire, then cancel.
+            await asyncio.wait(handlers, timeout=2.0)
+            for task in handlers:
+                if not task.done():
+                    task.cancel()
 
     def _dispatch(self, request: dict[str, Any]) -> dict[str, object]:
         command = request.get("cmd")
@@ -269,6 +348,11 @@ class ControlServer:
             if runner.network is not None:
                 runner.network.set_peer_delay(delay)
             return {"ok": True, "pid": runner.pid, "delay": delay}
+        if command == "flight":
+            reason = str(request.get("reason", "manual"))
+            raw_stalled = request.get("stalled_for")
+            stalled_for = float(raw_stalled) if raw_stalled is not None else None
+            return runner.flight_dump(reason, stalled_for=stalled_for)
         if command == "stop":
             runner.request_stop()
             return {"ok": True, "pid": runner.pid, "stopping": True}
@@ -277,6 +361,9 @@ class ControlServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
         try:
             while True:
                 line = await reader.readline()
@@ -289,6 +376,13 @@ class ControlServer:
                 except ValueError as exc:
                     response: dict[str, object] = {"ok": False, "error": str(exc)}
                 else:
+                    command = request.get("cmd")
+                    if command == "subscribe":
+                        # Streaming mode: the connection is dedicated to
+                        # the subscription from here on; no more requests
+                        # are read on it.
+                        await self._serve_subscribe(request, writer)
+                        break
                     response = self._dispatch(request)
                 writer.write(
                     (json.dumps(response, sort_keys=True) + "\n").encode()
@@ -297,9 +391,91 @@ class ControlServer:
         except (ConnectionError, OSError, asyncio.IncompleteReadError):
             pass
         finally:
+            if task is not None:
+                self._handlers.discard(task)
             writer.close()
             with contextlib.suppress(ConnectionError, OSError):
                 await writer.wait_closed()
+
+    async def _serve_subscribe(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream ``repro.obs.stream`` lines until stop or client hang-up.
+
+        Wire shape (all newline-JSON): one header line, then interleaved
+        ``{"event": ...}`` lines (everything the filter matched since the
+        last tick) and one ``{"delta": ...}`` line per tick carrying the
+        runner status, metric movement, and the cumulative ring-drop
+        count. Ticks are paced by ``interval`` seconds; the stream ends
+        with a final tick when the runner stops.
+        """
+        runner = self.runner
+        obs = runner.observability
+        if obs is None:
+            writer.write(b'{"error": "observability off", "ok": false}\n')
+            await writer.drain()
+            return
+        kinds_raw = request.get("kinds")
+        kinds: list[str] | None = None
+        if isinstance(kinds_raw, list):
+            kinds = [str(kind) for kind in kinds_raw]
+        raw_round = request.get("min_round")
+        min_round = int(raw_round) if raw_round is not None else None
+        interval = max(0.05, float(request.get("interval", 1.0)))
+        capacity = int(request.get("capacity", DEFAULT_STREAM_CAPACITY))
+        subscriber = StreamSubscriber(
+            obs.bus, capacity=capacity, kinds=kinds, min_round=min_round
+        )
+        deltas = MetricsDelta(obs.registry)
+        live_gauge = obs.registry.gauge("stream.subscribers")
+        drop_counter = obs.registry.counter("stream.dropped")
+        self._live_subscribers += 1
+        live_gauge.set(self._live_subscribers)
+        reported_drops = 0
+        seq = 0
+        try:
+            header = stream_header(
+                runner.pid, subscriber.filters_dict(), interval
+            )
+            writer.write((encode_stream_line(header) + "\n").encode())
+            await writer.drain()
+            while True:
+                stopped = await runner.wait_stopped(timeout=interval)
+                for event in subscriber.drain():
+                    writer.write(
+                        (encode_stream_line(event_line(event)) + "\n").encode()
+                    )
+                new_drops = subscriber.dropped - reported_drops
+                if new_drops:
+                    # Overflow is data, not just a log line: count it in
+                    # the registry and stamp the trace so post-hoc
+                    # analysis knows this stream has holes.
+                    reported_drops = subscriber.dropped
+                    drop_counter.inc(new_drops)
+                    obs.emit(
+                        runner.pid,
+                        "stream_drop",
+                        dropped=new_drops,
+                        total=reported_drops,
+                    )
+                seq += 1
+                line = delta_line(
+                    seq,
+                    obs.bus.now,
+                    status=runner.status(),
+                    metrics=deltas.collect(),
+                    dropped=subscriber.dropped,
+                )
+                writer.write((encode_stream_line(line) + "\n").encode())
+                await writer.drain()
+                if stopped:
+                    break
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            subscriber.close()
+            self._live_subscribers -= 1
+            live_gauge.set(self._live_subscribers)
 
 
 async def serve_node(

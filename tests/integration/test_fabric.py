@@ -4,7 +4,11 @@ Unlike the in-loop ``LocalCluster`` tests, every node here is a separate OS
 process booted from the same on-disk peer table — the deployment shape the
 multi-host runner targets. The fabric driver allocates ports, spawns the
 runners, polls their control sockets, runs the digest-based total-order
-check across process boundaries, and merges the per-host traces.
+check across process boundaries, and merges the per-host traces. The live
+telemetry plane rides along: per-node ``subscribe`` streams feed the plain
+(non-TTY) progress view and are teed to ``node-<pid>.stream.jsonl``, the
+merged trace feeds ``python -m repro.obs causal``, and a partitioned
+quorum trips the stall detector into flight-recorder dumps.
 """
 
 import json
@@ -15,11 +19,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs import loads_trace
+from repro.obs import decode_stream_line, loads_trace
 from repro.runtime.peers import load_peer_table
 
 REPO = Path(__file__).resolve().parents[2]
 FABRIC = REPO / "scripts" / "fabric.py"
+
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
 
 
 @pytest.fixture(scope="module")
@@ -37,6 +43,8 @@ def fabric_run(tmp_path_factory):
             "4",
             "--waves",
             "3",
+            "--live-interval",
+            "0.2",
             "--timeout",
             "90",
             "--out-dir",
@@ -46,6 +54,7 @@ def fabric_run(tmp_path_factory):
         text=True,
         timeout=150,
         cwd=str(REPO),
+        env=ENV,
     )
     return out_dir, result
 
@@ -106,7 +115,118 @@ class TestFabricSmoke:
                 text=True,
                 timeout=60,
                 cwd=str(REPO),
-                env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+                env=ENV,
             )
             assert result.returncode == 0, result.stderr
             assert "a_deliver" in result.stdout
+
+
+class TestLiveTelemetry:
+    """The subscribe-stream live view, exercised by the same fabric run."""
+
+    def test_plain_mode_renders_per_node_rows(self, fabric_run):
+        out_dir, result = fabric_run
+        assert result.returncode == 0, result.stdout + result.stderr
+        # Non-TTY stdout -> plain mode: periodic `live:` lines, one per node.
+        for pid in range(4):
+            assert f"live: node {pid}: wave" in result.stdout
+        assert "live: quorum wave" in result.stdout
+
+    def test_stream_tees_are_valid_and_carry_deltas(self, fabric_run):
+        out_dir, _result = fabric_run
+        tees = sorted(out_dir.glob("node-*.stream.jsonl"))
+        assert len(tees) == 4
+        for path in tees:
+            lines = path.read_text(encoding="utf-8").splitlines()
+            decoded = [decode_stream_line(text) for text in lines]
+            assert decoded[0]["type"] == "header"
+            kinds = {line["type"] for line in decoded}
+            assert "event" in kinds and "delta" in kinds
+            # The final delta carries the runner's last status snapshot.
+            last = [line for line in decoded if line["type"] == "delta"][-1]
+            status = last["delta"]["status"]
+            assert status["decided_wave"] >= 3
+            # A zero ring-drop count is elided from the wire entirely.
+            assert last["delta"].get("dropped", 0) == 0
+
+    def test_causal_stitch_covers_the_merged_trace(self, fabric_run):
+        out_dir, _result = fabric_run
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.obs", "causal",
+                str(out_dir / "merged.trace.jsonl"), "--json",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            cwd=str(REPO),
+            env=ENV,
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(result.stdout)
+        assert report["stitched_chains"] > 0
+        assert report["coverage"] == 1.0
+        for edge in ("create->r_deliver", "insert->leader", "deliver->commit"):
+            assert report["edges"][edge]["count"] > 0
+
+
+@pytest.fixture(scope="module")
+def stall_run(tmp_path_factory):
+    """The committed stall-probe scenario, with a short stall window.
+
+    ``scenarios/stall-probe.json`` splits n=4 into 2+2, so no group has a
+    commit quorum (3) and the commit frontier goes flat until the heal —
+    long enough for the driver's stall detector to fire and pull flight
+    dumps.
+    """
+    out_dir = tmp_path_factory.mktemp("fabric-stall")
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(FABRIC),
+            "--hosts",
+            "localhost",
+            "--scenario",
+            str(REPO / "scenarios" / "stall-probe.json"),
+            "--stall-window",
+            "2",
+            "--live-interval",
+            "0.25",
+            "--out-dir",
+            str(out_dir),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=150,
+        cwd=str(REPO),
+        env=ENV,
+    )
+    return out_dir, result
+
+
+class TestStallDiagnostics:
+    def test_partitioned_quorum_trips_the_stall_detector(self, stall_run):
+        out_dir, result = stall_run
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "live: STALL: quorum commit frontier flat" in result.stdout
+        assert "fabric: stall diagnostics" in result.stdout
+        # The run still completes once the partition heals.
+        assert "digest-based total order OK" in result.stdout
+
+    def test_stall_dump_carries_per_node_flight_rings(self, stall_run):
+        out_dir, _result = stall_run
+        dumps = sorted(out_dir.glob("stall-*.json"))
+        assert dumps, "stall detector fired but wrote no dump"
+        document = json.loads(dumps[0].read_text(encoding="utf-8"))
+        assert document["reason"] == "stall"
+        assert set(document["nodes"]) == {"0", "1", "2", "3"}
+        for node in document["nodes"].values():
+            assert node["ok"], node
+            assert node["status"]["decided_wave"] >= 0
+            assert "link_report" in node
+            ring = node["dump"]
+            assert ring["reason"] == "stall"
+            assert ring["count"] > 0
+            kinds = [event["kind"] for event in ring["events"]]
+            # The dump request itself stamps the ring before it is read.
+            assert "stall_detected" in kinds

@@ -135,3 +135,17 @@ class TestLoadScenario:
         scenario = load_scenario(str(repo / "scenarios" / "crash-restart.json"))
         assert scenario.name == "crash-restart"
         assert scenario.steps[0].kind == "crash"
+
+    def test_repo_stall_probe_scenario_is_valid(self):
+        # The committed stall-probe scenario splits n=4 into 2+2: neither
+        # side holds a commit quorum (3), so the quorum frontier goes flat
+        # until the heal — the shape the fabric's stall detector keys on.
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        scenario = load_scenario(str(repo / "scenarios" / "stall-probe.json"))
+        assert scenario.name == "stall-probe"
+        step = scenario.steps[0]
+        assert step.kind == "partition"
+        assert step.groups == ((0, 1), (2, 3))
+        assert step.heal_after > 0
