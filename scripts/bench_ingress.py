@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Drive the sustained ingress benchmark against a real local fabric.
+
+Examples (from the repo root):
+
+    # 15s of client load on a 4-node fabric, write the shape baseline:
+    PYTHONPATH=src python scripts/bench_ingress.py --duration 15 --out BENCH_ingress.json
+
+    # CI smoke: assert a delivery floor and a flat RSS profile:
+    PYTHONPATH=src python scripts/bench_ingress.py --duration 15 \\
+        --min-delivered 200 --max-rss-growth 1.6 --out /tmp/ingress.json
+
+Unlike ``bench_sweep.py`` this measures the *runtime* — real sockets, real
+OS processes — so every number is machine-dependent; the committed
+baseline documents the schema, not expected values. Exit code 1 means a
+smoke assertion failed, 2 means the fabric never became healthy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.perf.ingress import IngressCell, check_result, run_ingress_cell
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=4, help="cluster size")
+    parser.add_argument("--seed", type=int, default=7, help="peer-table seed")
+    parser.add_argument(
+        "--duration", type=float, default=10.0, help="seconds of client load"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=2, help="closed-loop clients per node"
+    )
+    parser.add_argument(
+        "--tx-bytes", type=int, default=128, help="payload bytes per transaction"
+    )
+    parser.add_argument(
+        "--gc-depth", type=int, default=8,
+        help="DAG compaction margin; 0 disables compaction",
+    )
+    parser.add_argument(
+        "--out-dir", default="ingress-bench-out",
+        help="fabric artifacts (peer table, per-node logs)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the benchmark JSON document here",
+    )
+    parser.add_argument(
+        "--min-delivered", type=int, default=0,
+        help="fail unless at least this many client txs committed",
+    )
+    parser.add_argument(
+        "--max-rss-growth", type=float, default=2.0,
+        help="fail if any node's peak RSS exceeds its warm baseline "
+        "by this factor (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    cell = IngressCell(
+        name=f"ingress-n{args.n}",
+        n=args.n,
+        seed=args.seed,
+        duration=args.duration,
+        clients_per_node=args.clients,
+        tx_bytes=args.tx_bytes,
+        gc_depth=args.gc_depth if args.gc_depth > 0 else None,
+    )
+    try:
+        result = run_ingress_cell(cell, args.out_dir)
+    except RuntimeError as error:
+        print(f"bench_ingress: {error}", file=sys.stderr)
+        return 2
+
+    client = result["client"]
+    throughput = result["throughput"]
+    print(
+        f"ingress: n={args.n} duration={args.duration}s "
+        f"clients={args.n * args.clients}"
+    )
+    print(
+        f"  submitted {client['submitted']} "
+        f"(accepted {client['accepted']}, busy {client['busy']}, "
+        f"errors {client['errors']})"
+    )
+    print(
+        f"  delivered {result['delivered']} "
+        f"({throughput['delivered_per_sec']}/s), acks streamed {client['acks']}"
+    )
+    if "e2e" in client:
+        e2e = client["e2e"]
+        print(
+            f"  e2e latency: median {e2e['median']}s  p90 {e2e['p90']}s  "
+            f"max {e2e['max']}s"
+        )
+    probe = result["backpressure"]
+    print(
+        f"  overload probe: {probe['sent']} sent, {probe['busy']} busy "
+        f"rejections"
+    )
+    for pid, memory in sorted(result["memory"].items()):
+        if memory.get("growth") is not None:
+            print(
+                f"  node {pid}: RSS {memory['baseline_rss'] // 1024}K -> "
+                f"peak {memory['peak_rss'] // 1024}K "
+                f"(growth {memory['growth']}x)"
+            )
+    print(f"  agreed prefix: {result['consistency']['agreed_prefix']} entries")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            json.dump(result, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.out}")
+
+    failures = check_result(
+        result,
+        min_delivered=args.min_delivered,
+        max_rss_growth=args.max_rss_growth,
+    )
+    for failure in failures:
+        print(f"bench_ingress: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

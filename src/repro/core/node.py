@@ -100,10 +100,15 @@ class DagRiderNode(Process):
 
         self.ordered: list[OrderedEntry] = []
         self._on_deliver = on_deliver
+        # Additional delivery listeners (the ingress gateway's ack path
+        # among them) — the single ``on_deliver`` slot predates them and
+        # is kept for existing callers.
+        self._delivery_listeners: list[Callable[[OrderedEntry], None]] = []
         # GC policy (an extension following DAG-Rider's descendants —
-        # Narwhal/Bullshark): once every vertex below a round is delivered,
-        # keep ``gc_depth`` rounds of margin for stragglers and collect the
-        # rest. None (the default) is the paper-faithful unbounded DAG.
+        # Narwhal/Bullshark): once a round is *complete* (all n vertices
+        # present) and fully delivered, keep ``gc_depth`` rounds of margin
+        # for catch-up serving and collect the rest. None (the default) is
+        # the paper-faithful unbounded DAG.
         self._gc_depth = gc_depth
         self._tracer = tracer  # optional repro.sim.trace.Tracer
         self._wave_ready_time: dict[int, float] = {}
@@ -272,12 +277,23 @@ class DagRiderNode(Process):
         decided = self.ordering.decided_wave
         if decided < 1:
             return
-        # Largest round prefix that is fully delivered in this local DAG.
+        # Largest round prefix that is *complete* (all n vertices present)
+        # and fully delivered in this local DAG. Completeness is what makes
+        # collection safe: a correct process emits exactly one vertex per
+        # round, so no further vertex can ever arrive for a complete round,
+        # and the structural delivery rule has already placed all of them.
+        # Checking delivered-only would let one node compact a round whose
+        # straggler vertex is still in flight — it would then treat the
+        # late vertex as delivered (sub-floor refs count as satisfied)
+        # while peers that kept the round weave it in via weak parents and
+        # deliver it, silently forking the total order. A crashed peer
+        # therefore pins the frontier until catch-up refills its column —
+        # collection liveness deliberately yields to safety.
         frontier = self.store.collected_floor
         probe = max(1, frontier)
         while True:
             vertices = self.store.round(probe)
-            if not vertices or not all(
+            if len(vertices) < self.config.n or not all(
                 self.ordering.is_delivered(v.ref) for v in vertices.values()
             ):
                 break
@@ -329,6 +345,12 @@ class DagRiderNode(Process):
                 assert isinstance(self.coin, ThresholdCoin)
                 self.coin.deliver_share(vertex.source, instance, vertex.coin_share)
 
+    def add_delivery_listener(
+        self, listener: Callable[[OrderedEntry], None]
+    ) -> None:
+        """Call ``listener`` synchronously for every future ``a_deliver``."""
+        self._delivery_listeners.append(listener)
+
     def _record_delivery(self, block: Block, round_: int, source: int) -> None:
         position = len(self.recovered_digest_prefix) + len(self.ordered)
         entry = OrderedEntry(position, block, round_, source, self.now)
@@ -336,6 +358,8 @@ class DagRiderNode(Process):
         self._emit("a_deliver", round=round_, source=source)
         if self._on_deliver is not None:
             self._on_deliver(entry)
+        for listener in self._delivery_listeners:
+            listener(entry)
 
     # -------------------------------------------------- recovery + catch-up
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import struct
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.broadcast.base import Payload
@@ -87,7 +88,10 @@ class BlockSource:
     proposer: int
     generator: TransactionGenerator | None = None
     batch_size: int = 1
-    _queue: list[Block] = field(default_factory=list)
+    # A deque, not a list: the runtime ingress path enqueues sustained
+    # client batches, and list.pop(0) is O(n) per dequeue (quadratic over
+    # a busy queue); popleft() keeps the proposal path O(1).
+    _queue: deque[Block] = field(default_factory=deque)
     _sequence: int = 0
 
     def enqueue(self, block: Block) -> None:
@@ -120,7 +124,7 @@ class BlockSource:
     def dequeue(self) -> Block | None:
         """Pop the next block to propose; None only when :attr:`empty`."""
         if self._queue:
-            return self._queue.pop(0)
+            return self._queue.popleft()
         if self.generator is None:
             return None
         self._sequence += 1

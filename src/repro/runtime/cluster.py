@@ -18,6 +18,7 @@ import asyncio
 from repro.common.config import SystemConfig
 from repro.core.node import DagRiderNode
 from repro.crypto.dealer import CoinDealer
+from repro.mempool.admission import AdmissionConfig
 from repro.obs.context import Observability
 from repro.runtime.consistency import check_prefix_consistency, full_digest_log
 from repro.runtime.peers import PeerTable, make_peer_table
@@ -57,6 +58,8 @@ class LocalCluster:
         observability: Observability | None = None,
         peers: dict[int, tuple[str, int]] | None = None,
         state_dirs: dict[int, str] | None = None,
+        ingress_ports: dict[int, int] | None = None,
+        ingress: "AdmissionConfig | None" = None,
         **node_kwargs: Any,
     ):
         self.config = config
@@ -70,6 +73,8 @@ class LocalCluster:
             config,
             coin_mode=coin_mode,
             link=link_config,
+            ingress_ports=ingress_ports,
+            ingress=ingress,
         )
         self._coin_mode = coin_mode
         self._chaos = chaos
@@ -110,6 +115,11 @@ class LocalCluster:
             self.runners.append(runner)
         for runner in self.runners:
             runner.launch()
+        for runner in self.runners:
+            # Nodes whose peer entry names an ingress_port open their
+            # client transaction socket once the protocol is live.
+            if runner.entry.ingress_port is not None:
+                await runner.start_ingress()
 
     async def stop(self) -> None:
         """Close every socket and background task; safe to call repeatedly."""

@@ -83,33 +83,45 @@ def plan_table(
     n: int,
     seed: int,
     coin_mode: str,
+    gc_depth: int | None = None,
+    ingress: bool = False,
 ) -> PeerTable:
     """Build a peer table mapping pids across ``hosts`` (cycled).
 
     Local hosts get freshly allocated free ports; every pid gets a
-    control port so the driver can probe it.
+    control port so the driver can probe it. With ``ingress`` every pid
+    additionally gets a client transaction port, and ``gc_depth`` sets
+    the table-wide DAG compaction margin (bounded memory).
     """
     from repro.common.config import SystemConfig
 
     assignment = {pid: hosts[pid % len(hosts)] for pid in range(n)}
+    per_pid = 3 if ingress else 2
     addresses: dict[int, tuple[str, int]] = {}
     control_ports: dict[int, int] = {}
+    ingress_ports: dict[int, int] = {}
     local_pids = [pid for pid, host in assignment.items() if is_local(host)]
-    ports = allocate_port_block(2 * len(local_pids))
+    ports = allocate_port_block(per_pid * len(local_pids))
     for index, pid in enumerate(local_pids):
-        addresses[pid] = ("127.0.0.1", ports[2 * index])
-        control_ports[pid] = ports[2 * index + 1]
+        addresses[pid] = ("127.0.0.1", ports[per_pid * index])
+        control_ports[pid] = ports[per_pid * index + 1]
+        if ingress:
+            ingress_ports[pid] = ports[per_pid * index + 2]
     base = 9100  # remote hosts: deterministic well-known ports per pid
     for pid, host in assignment.items():
         if pid in addresses:
             continue
         addresses[pid] = (host, base + pid)
         control_ports[pid] = base + n + pid
+        if ingress:
+            ingress_ports[pid] = base + 2 * n + pid
     return make_peer_table(
         addresses,
         SystemConfig(n=n, seed=seed),
         coin_mode=coin_mode,
         control_ports=control_ports,
+        ingress_ports=ingress_ports or None,
+        gc_depth=gc_depth,
     )
 
 
@@ -634,6 +646,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of flat quorum commit frontier before pulling "
         "flight-recorder dumps (default: %(default)s)",
     )
+    parser.add_argument(
+        "--gc-depth",
+        type=int,
+        help="table-wide DAG compaction margin in rounds (bounded memory); "
+        "scenario runs default it on",
+    )
+    parser.add_argument(
+        "--ingress",
+        action="store_true",
+        help="allocate a client transaction (ingress) port per node",
+    )
     return parser
 
 
@@ -669,11 +692,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"steps={len(scenario.steps)}"
         )
 
+    gc_depth: int | None = args.gc_depth
+    if scenario is not None and gc_depth is None:
+        # Scenario runs journal durable state and crash-loop nodes; they
+        # default the bounded-memory policy on (scenario.gc_depth).
+        gc_depth = scenario.gc_depth
+
     if args.peers:
         table = load_peer_table(args.peers)
         peers_path = Path(args.peers)
     else:
-        table = plan_table(hosts, args.n, args.seed, args.coin)
+        table = plan_table(
+            hosts, args.n, args.seed, args.coin,
+            gc_depth=gc_depth, ingress=args.ingress,
+        )
         peers_path = out_dir / "peers.json"
         peers_path.write_text(table.dumps(), encoding="utf-8")
         print(f"fabric: wrote peer table for n={table.n} to {peers_path}")

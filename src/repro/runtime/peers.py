@@ -9,7 +9,13 @@ host gets the same file, and ``python -m repro tcp-node --peers table.json
 * the coin setup (``coin_mode`` plus the dealer's key-material seed — the
   trusted-dealer analogue of distributing threshold keys at setup);
 * the :class:`repro.runtime.reliable.LinkConfig` knobs under ``"link"``;
-* one ``{host, port, control_port}`` entry per pid under ``"peers"``.
+* the runtime memory/ingress policy: ``"gc_depth"`` (DAG compaction
+  margin in rounds; omitted = unbounded) and the
+  :class:`repro.mempool.admission.AdmissionConfig` knobs under
+  ``"ingress"``;
+* one ``{host, port, control_port, ingress_port}`` entry per pid under
+  ``"peers"`` (the optional ``ingress_port`` is the client transaction
+  socket — see docs/runtime.md "Client ingress and backpressure").
 
 JSON is the native format; ``.toml`` files load through :mod:`tomllib`
 (stdlib). Schema (JSON spelling)::
@@ -40,6 +46,7 @@ from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
 from repro.core.node import COIN_MODES
 from repro.crypto.dealer import CoinDealer
+from repro.mempool.admission import AdmissionConfig
 from repro.runtime.reliable import LinkConfig
 
 
@@ -49,21 +56,24 @@ class PeerTableError(ConfigurationError):
 
 _TABLE_KEYS = {
     "n", "seed", "coin_mode", "dealer_seed", "wave_length",
-    "genesis_size", "byzantine", "link", "peers",
+    "genesis_size", "byzantine", "link", "peers", "gc_depth", "ingress",
 }
-_PEER_KEYS = {"host", "port", "control_port"}
+_PEER_KEYS = {"host", "port", "control_port", "ingress_port"}
 _LINK_KEYS = {f.name for f in fields(LinkConfig)}
+_INGRESS_KEYS = {f.name for f in fields(AdmissionConfig)}
 
 
 @dataclass(frozen=True)
 class PeerEntry:
     """One node's addresses: the data port peers dial, the control port
-    the fabric driver probes (``None`` for in-loop clusters)."""
+    the fabric driver probes, and the ingress port clients submit
+    transactions to (the optional ports are ``None`` when unused)."""
 
     pid: int
     host: str
     port: int
     control_port: int | None = None
+    ingress_port: int | None = None
 
     @property
     def address(self) -> tuple[str, int]:
@@ -74,6 +84,12 @@ class PeerEntry:
         if self.control_port is None:
             raise PeerTableError(f"peer {self.pid} has no control_port")
         return (self.host, self.control_port)
+
+    @property
+    def ingress_address(self) -> tuple[str, int]:
+        if self.ingress_port is None:
+            raise PeerTableError(f"peer {self.pid} has no ingress_port")
+        return (self.host, self.ingress_port)
 
 
 @dataclass(frozen=True)
@@ -89,6 +105,11 @@ class PeerTable:
     genesis_size: int | None = None
     byzantine: frozenset[int] = frozenset()
     link: LinkConfig = LinkConfig()
+    #: DAG GC margin: delivered waves are compacted keeping this many
+    #: rounds of straggler slack (``None`` = paper-faithful unbounded).
+    gc_depth: int | None = None
+    #: Client-ingress admission budgets and batching triggers.
+    ingress: AdmissionConfig = AdmissionConfig()
 
     def system_config(self) -> SystemConfig:
         kwargs: dict[str, object] = {}
@@ -152,6 +173,16 @@ class PeerTable:
                 for f in fields(LinkConfig)
                 if getattr(self.link, f.name) != getattr(defaults, f.name)
             }
+        if self.gc_depth is not None:
+            data["gc_depth"] = self.gc_depth
+        if self.ingress != AdmissionConfig():
+            ingress_defaults = AdmissionConfig()
+            data["ingress"] = {
+                f.name: getattr(self.ingress, f.name)
+                for f in fields(AdmissionConfig)
+                if getattr(self.ingress, f.name)
+                != getattr(ingress_defaults, f.name)
+            }
         return data
 
     def dumps(self) -> str:
@@ -186,12 +217,19 @@ def _parse_peer(pid_key: object, raw: object, n: int, source: str) -> PeerEntry:
     control_port: int | None = None
     if "control_port" in raw:
         control_port = _require_int(raw, "control_port", f"{source}: peer {pid}")
-    for name, value in (("port", port), ("control_port", control_port)):
+    ingress_port: int | None = None
+    if "ingress_port" in raw:
+        ingress_port = _require_int(raw, "ingress_port", f"{source}: peer {pid}")
+    for name, value in (
+        ("port", port),
+        ("control_port", control_port),
+        ("ingress_port", ingress_port),
+    ):
         if value is not None and not 1 <= value <= 65535:
             raise PeerTableError(
                 f"{source}: peer {pid} {name} {value} outside [1, 65535]"
             )
-    return PeerEntry(pid, host, port, control_port)
+    return PeerEntry(pid, host, port, control_port, ingress_port)
 
 
 def parse_peer_table(data: object, source: str = "peer table") -> PeerTable:
@@ -240,6 +278,8 @@ def parse_peer_table(data: object, source: str = "peer table") -> PeerTable:
         owned = [(entry.address, f"peer {entry.pid} port")]
         if entry.control_port is not None:
             owned.append((entry.control_address, f"peer {entry.pid} control_port"))
+        if entry.ingress_port is not None:
+            owned.append((entry.ingress_address, f"peer {entry.pid} ingress_port"))
         for address, owner in owned:
             if address in seen:
                 raise PeerTableError(
@@ -265,6 +305,27 @@ def parse_peer_table(data: object, source: str = "peer table") -> PeerTable:
             raise PeerTableError(f"{source}: 'byzantine' must be a list of pids")
         byzantine = frozenset(int(b) for b in raw_byz)
 
+    gc_depth: int | None = None
+    if "gc_depth" in data:
+        gc_depth = _require_int(data, "gc_depth", source)
+        if gc_depth < 1:
+            raise PeerTableError(
+                f"{source}: gc_depth must be >= 1 round, got {gc_depth}"
+            )
+
+    ingress = AdmissionConfig()
+    if "ingress" in data:
+        raw_ingress = data["ingress"]
+        if not isinstance(raw_ingress, Mapping):
+            raise PeerTableError(f"{source}: 'ingress' must be an object")
+        unknown = set(raw_ingress) - _INGRESS_KEYS
+        if unknown:
+            raise PeerTableError(
+                f"{source}: unknown ingress keys {sorted(unknown)}"
+            )
+        # AdmissionConfig validates value ranges (like LinkConfig above).
+        ingress = AdmissionConfig(**raw_ingress)
+
     table = PeerTable(
         n=n,
         seed=seed,
@@ -283,6 +344,8 @@ def parse_peer_table(data: object, source: str = "peer table") -> PeerTable:
         ),
         byzantine=byzantine,
         link=link,
+        gc_depth=gc_depth,
+        ingress=ingress,
     )
     table.system_config()  # surface SystemConfig validation errors at parse
     return table
@@ -310,6 +373,9 @@ def make_peer_table(
     link: LinkConfig | None = None,
     control_ports: Mapping[int, int] | None = None,
     dealer_seed: int | None = None,
+    ingress_ports: Mapping[int, int] | None = None,
+    gc_depth: int | None = None,
+    ingress: AdmissionConfig | None = None,
 ) -> PeerTable:
     """Build a table programmatically (clusters, fabric, tests)."""
     if coin_mode != "ideal" and dealer_seed is None:
@@ -320,6 +386,7 @@ def make_peer_table(
             addresses[pid][0],
             addresses[pid][1],
             control_ports.get(pid) if control_ports else None,
+            ingress_ports.get(pid) if ingress_ports else None,
         )
         for pid in sorted(addresses)
     )
@@ -333,6 +400,8 @@ def make_peer_table(
         genesis_size=config.genesis_size,
         byzantine=config.byzantine,
         link=link if link is not None else LinkConfig(),
+        gc_depth=gc_depth,
+        ingress=ingress if ingress is not None else AdmissionConfig(),
     )
 
 

@@ -42,6 +42,8 @@ from typing import TYPE_CHECKING, Any
 from repro.common.errors import ConfigurationError
 from repro.core.node import DagRiderNode
 from repro.crypto.dealer import CoinDealer
+from repro.mempool.admission import Mempool
+from repro.mempool.gateway import IngressGateway
 from repro.obs.context import Observability
 from repro.obs.export import dump_trace, dumps_trace
 from repro.obs.stream import (
@@ -94,6 +96,8 @@ class NodeRunner:
         self.journal: NodeJournal | None = None
         self.recovery: RecoveryReport | None = None
         self.flight: FlightRecorder | None = None
+        self.mempool: Mempool | None = None
+        self.gateway: IngressGateway | None = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -124,6 +128,10 @@ class NodeRunner:
                 fsync=self._fsync,
                 obs=self.observability,
             )
+        if self.table.gc_depth is not None:
+            # The table's memory policy; an explicit node_kwargs override
+            # (tests, LocalCluster callers) still wins.
+            self._node_kwargs.setdefault("gc_depth", self.table.gc_depth)
         self.node = DagRiderNode(
             self.pid,
             self.network,
@@ -146,6 +154,37 @@ class NodeRunner:
             # Rejoin: pull the DAG suffix peers built while we were down.
             self.node.request_catchup()
 
+    async def start_ingress(self) -> None:
+        """Open the client transaction socket on this pid's ``ingress_port``.
+
+        Requires :meth:`boot`. The mempool takes the table's admission
+        config and the node's own clock (the transport scheduler), so
+        submit → ``a_deliver`` latency stamps share the trace time axis.
+        """
+        if self.node is None:
+            raise RuntimeError(f"runner {self.pid} not booted")
+        if self.gateway is not None:
+            raise RuntimeError(f"runner {self.pid} ingress already started")
+        if self.entry.ingress_port is None:
+            raise ConfigurationError(
+                f"peer {self.pid} has no ingress_port in the table"
+            )
+        node = self.node
+        self.mempool = Mempool(
+            self.pid,
+            config=self.table.ingress,
+            clock=lambda: node.now,
+            obs=self.observability,
+        )
+        self.gateway = IngressGateway(
+            node,
+            self.mempool,
+            self.entry.host,
+            self.entry.ingress_port,
+            obs=self.observability,
+        )
+        await self.gateway.start()
+
     async def close_links(self) -> None:
         """Quiesce outbound links only (first phase of cluster teardown)."""
         if self.network is not None:
@@ -156,6 +195,8 @@ class NodeRunner:
         if self._closed:
             return
         self._closed = True
+        if self.gateway is not None:
+            await self.gateway.close()
         if self.network is not None:
             await self.network.close()
         if self.journal is not None:
@@ -196,6 +237,8 @@ class NodeRunner:
         if self.recovery is not None:
             status["recovered"] = self.recovery.recovered
             status["recovery"] = self.recovery.as_dict()
+        if self.mempool is not None:
+            status["ingress"] = self.mempool.status()
         return status
 
     def ordered_digests(self) -> list[str]:
@@ -485,12 +528,16 @@ async def serve_node(
     run_seconds: float | None = None,
     announce: bool = True,
     state_dir: str | None = None,
+    gc_depth: int | None = None,
 ) -> int:
     """Run one node process until stopped over control (or the deadline).
 
     The ``python -m repro tcp-node`` body. Returns the process exit code:
     0 after a clean control-socket stop, 2 when ``run_seconds`` expired
     first (so orphaned runners are visible to whatever launched them).
+    An explicit ``gc_depth`` (the CLI's ``--gc-depth``) overrides the
+    table's; the ingress gateway starts whenever the table gives this pid
+    an ``ingress_port``.
     """
     entry = table.entry(pid)
     if entry.control_port is None:
@@ -498,11 +545,22 @@ async def serve_node(
             f"peer {pid} has no control_port; tcp-node needs one to be driven"
         )
     observability = Observability()
-    runner = NodeRunner(table, pid, observability=observability, state_dir=state_dir)
+    node_kwargs: dict[str, Any] = {}
+    if gc_depth is not None:
+        node_kwargs["gc_depth"] = gc_depth
+    runner = NodeRunner(
+        table,
+        pid,
+        observability=observability,
+        state_dir=state_dir,
+        node_kwargs=node_kwargs,
+    )
     await runner.boot()
     runner.launch()
     control = ControlServer(runner, entry.host, entry.control_port)
     await control.start()
+    if entry.ingress_port is not None:
+        await runner.start_ingress()
     if announce:
         recovered = ""
         if runner.recovery is not None and runner.recovery.recovered:
@@ -511,9 +569,14 @@ async def serve_node(
                 f"{runner.recovery.replayed_vertices} wal vertices, "
                 f"{runner.recovery.replayed_commits} commits)"
             )
+        ingress = (
+            f" ingress {entry.host}:{entry.ingress_port}"
+            if entry.ingress_port is not None
+            else ""
+        )
         print(
             f"node {pid}/{table.n} up: data {entry.host}:{entry.port} "
-            f"control {entry.host}:{entry.control_port}{recovered}",
+            f"control {entry.host}:{entry.control_port}{ingress}{recovered}",
             flush=True,
         )
     stopped_clean = await runner.wait_stopped(timeout=run_seconds)
@@ -533,6 +596,7 @@ def run_node(
     trace_path: str | None = None,
     run_seconds: float | None = 300.0,
     state_dir: str | None = None,
+    gc_depth: int | None = None,
 ) -> int:
     """Synchronous entry point used by the CLI."""
     from repro.runtime.peers import load_peer_table
@@ -545,5 +609,6 @@ def run_node(
             trace_path=trace_path,
             run_seconds=run_seconds,
             state_dir=state_dir,
+            gc_depth=gc_depth,
         )
     )

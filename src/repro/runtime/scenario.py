@@ -63,6 +63,13 @@ class ScenarioStep:
     cycles: int = 1
 
 
+#: Scenario runs bound node memory by default: delivered waves are
+#: compacted keeping this many rounds of straggler margin (and snapshots
+#: piggyback on each compaction, exercising the recovery path the
+#: scenarios exist to test). ``"gc_depth": null`` opts a scenario out.
+DEFAULT_SCENARIO_GC_DEPTH = 8
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A named run shape plus its ordered fault steps."""
@@ -73,6 +80,7 @@ class Scenario:
     coin: str = "ideal"
     waves: int = 5
     timeout: float = 120.0
+    gc_depth: int | None = DEFAULT_SCENARIO_GC_DEPTH
     steps: tuple[ScenarioStep, ...] = field(default=())
 
 
@@ -170,7 +178,7 @@ def parse_scenario(raw: dict[str, Any], origin: str = "<scenario>") -> Scenario:
     """Validate a decoded scenario document into a :class:`Scenario`."""
     if not isinstance(raw, dict):
         raise ConfigurationError(f"{origin}: scenario must be an object")
-    known = {"name", "n", "seed", "coin", "waves", "timeout", "steps"}
+    known = {"name", "n", "seed", "coin", "waves", "timeout", "gc_depth", "steps"}
     unknown = set(raw) - known
     if unknown:
         raise ConfigurationError(f"{origin}: unknown keys {sorted(unknown)}")
@@ -185,6 +193,13 @@ def parse_scenario(raw: dict[str, Any], origin: str = "<scenario>") -> Scenario:
         raise ConfigurationError(f"{origin}: unknown coin mode {coin!r}")
     for key, minimum in (("seed", 0), ("waves", 1), ("timeout", 1.0)):
         _require_number(raw, key, origin, minimum)
+    gc_depth = raw.get("gc_depth", DEFAULT_SCENARIO_GC_DEPTH)
+    if gc_depth is not None and (
+        not isinstance(gc_depth, int) or isinstance(gc_depth, bool) or gc_depth < 1
+    ):
+        raise ConfigurationError(
+            f"{origin}: gc_depth must be an int >= 1 or null, got {gc_depth!r}"
+        )
     raw_steps = raw.get("steps", [])
     if not isinstance(raw_steps, list):
         raise ConfigurationError(f"{origin}: steps must be a list")
@@ -202,6 +217,7 @@ def parse_scenario(raw: dict[str, Any], origin: str = "<scenario>") -> Scenario:
         coin=coin,
         waves=int(raw.get("waves", 5)),
         timeout=float(raw.get("timeout", 120.0)),
+        gc_depth=gc_depth,
         steps=steps,
     )
 

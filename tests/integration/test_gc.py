@@ -50,6 +50,33 @@ class TestGcEquivalence:
         node = dep.correct_nodes[0]
         assert any(e.source == 3 for e in node.ordered)
 
+    def test_incomplete_rounds_pin_the_frontier(self):
+        """GC must never collect a round still missing a straggler's vertex.
+
+        With delivered-only accounting a fast node would collect such a
+        round, drop the straggler's late vertex on arrival (sub-floor refs
+        count as satisfied), and fork the total order against peers that
+        kept the round and wove the vertex in via weak parents. An
+        aggressive margin plus a very slow process is exactly that trap:
+        ``run_with_gc`` cross-checks every node's delivery log, and the
+        straggler's vertices must still appear in it.
+        """
+        seed = 11
+        adversary = SlowProcessDelay(
+            UniformDelay(derive_rng(seed, "d"), 0.1, 1.0), slow={3}, penalty=20.0
+        )
+        dep = run_with_gc(2, seed=seed, adversary=adversary, max_events=150_000)
+        node = dep.correct_nodes[0]
+        assert node.store.collected_floor > 0  # collection did happen
+        assert any(e.source == 3 for e in node.ordered)
+        # Everything below the floor is complete: n entries per round in
+        # the delivery log for every collected round.
+        per_round = {}
+        for entry in node.ordered:
+            per_round[entry.round] = per_round.get(entry.round, 0) + 1
+        for round_ in range(1, node.store.collected_floor):
+            assert per_round.get(round_) == 4, (round_, per_round.get(round_))
+
     def test_gc_with_threshold_coin(self):
         dep = DagRiderDeployment(
             SystemConfig(n=4, seed=9),

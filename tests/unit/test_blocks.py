@@ -102,3 +102,24 @@ class TestBlockSource:
         seqs = [source.dequeue().sequence for _ in range(5)]
         assert seqs == sorted(seqs)
         assert len(set(seqs)) == 5
+
+    def test_drain_scales_linearly(self):
+        # Regression guard for the O(n) list.pop(0) dequeue: draining a
+        # deep explicit queue must cost O(1) per block. With the old
+        # quadratic behavior the large drain shuffles ~200M list slots
+        # and blows far past the absolute bound; with deque.popleft it
+        # finishes in milliseconds.
+        import time
+
+        def drain_seconds(count):
+            source = BlockSource(0)
+            for index in range(count):
+                source.enqueue_transactions(b"%d" % index)
+            start = time.perf_counter()
+            while source.dequeue() is not None:
+                pass
+            return time.perf_counter() - start
+
+        small = drain_seconds(2_000)
+        large = drain_seconds(20_000)
+        assert large < max(40 * small, 0.5)

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
 from repro.runtime.peers import (
     PeerTableError,
     allocate_port_block,
@@ -126,6 +127,72 @@ class TestRejections:
         data["n"] = "four"
         with pytest.raises(PeerTableError, match="must be an integer"):
             parse_peer_table(data)
+
+
+class TestIngressAndGc:
+    def ingress_table(self):
+        data = table_dict()
+        for pid in range(4):
+            data["peers"][str(pid)]["ingress_port"] = 9200 + pid
+        return data
+
+    def test_gc_depth_round_trips(self):
+        table = parse_peer_table(table_dict(gc_depth=6))
+        assert table.gc_depth == 6
+        assert parse_peer_table(json.loads(table.dumps())) == table
+
+    def test_gc_depth_must_be_positive(self):
+        with pytest.raises(PeerTableError, match="gc_depth"):
+            parse_peer_table(table_dict(gc_depth=0))
+
+    def test_ingress_ports_parse(self):
+        table = parse_peer_table(self.ingress_table())
+        assert table.entry(1).ingress_address == ("127.0.0.1", 9201)
+        assert parse_peer_table(json.loads(table.dumps())) == table
+
+    def test_ingress_port_collision_rejected(self):
+        data = self.ingress_table()
+        data["peers"]["1"]["ingress_port"] = 9000  # pid 0's data port
+        with pytest.raises(PeerTableError, match="reuses"):
+            parse_peer_table(data)
+
+    def test_ingress_address_requires_port(self):
+        table = parse_peer_table(table_dict())
+        with pytest.raises(PeerTableError, match="ingress_port"):
+            table.entry(0).ingress_address
+
+    def test_ingress_config_round_trips(self):
+        table = parse_peer_table(
+            table_dict(ingress={"batch_txs": 8, "max_pending_txs": 100})
+        )
+        assert table.ingress.batch_txs == 8
+        assert table.ingress.max_pending_txs == 100
+        assert parse_peer_table(json.loads(table.dumps())) == table
+
+    def test_unknown_ingress_key_rejected(self):
+        with pytest.raises(PeerTableError, match="unknown ingress keys"):
+            parse_peer_table(table_dict(ingress={"warp_factor": 9}))
+
+    def test_bad_ingress_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="batch_txs"):
+            parse_peer_table(table_dict(ingress={"batch_txs": 0}))
+
+    def test_make_peer_table_carries_policy(self):
+        from repro.mempool.admission import AdmissionConfig
+
+        config = SystemConfig(n=4, seed=3)
+        ports = allocate_port_block(12)
+        table = make_peer_table(
+            {pid: ("127.0.0.1", ports[3 * pid]) for pid in range(4)},
+            config,
+            control_ports={pid: ports[3 * pid + 1] for pid in range(4)},
+            ingress_ports={pid: ports[3 * pid + 2] for pid in range(4)},
+            gc_depth=8,
+            ingress=AdmissionConfig(batch_txs=16),
+        )
+        assert table.gc_depth == 8
+        assert table.ingress.batch_txs == 16
+        assert parse_peer_table(json.loads(table.dumps())) == table
 
 
 class TestFiles:

@@ -33,6 +33,20 @@ class TestParseScenario:
         assert scenario.coin == "threshold"
         assert scenario.waves == 2 and scenario.timeout == 30.0
 
+    def test_gc_depth_defaults_on(self):
+        from repro.runtime.scenario import DEFAULT_SCENARIO_GC_DEPTH
+
+        assert parse_scenario(minimal()).gc_depth == DEFAULT_SCENARIO_GC_DEPTH
+
+    def test_gc_depth_overrides_and_opts_out(self):
+        assert parse_scenario(minimal(gc_depth=3)).gc_depth == 3
+        assert parse_scenario(minimal(gc_depth=None)).gc_depth is None
+
+    @pytest.mark.parametrize("bad", [0, -1, True, "deep"])
+    def test_bad_gc_depth_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="gc_depth"):
+            parse_scenario(minimal(gc_depth=bad))
+
     @pytest.mark.parametrize(
         "broken",
         [
